@@ -1,0 +1,87 @@
+//! End-to-end pipeline benchmarks: Hermit vs Baseline range and point
+//! lookups through the full Database executor (the Criterion counterpart
+//! of Figs. 8/12; the `figures` binary prints the full sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermit_core::{Database, RangePredicate};
+use hermit_storage::TidScheme;
+use hermit_workloads::synthetic::cols;
+use hermit_workloads::{build_synthetic, CorrelationKind, QueryGen, SyntheticConfig};
+use std::time::Duration;
+
+fn setup(kind: CorrelationKind, scheme: TidScheme) -> (Database, Database, SyntheticConfig) {
+    let cfg = SyntheticConfig {
+        tuples: 100_000,
+        correlation: kind,
+        ..Default::default()
+    };
+    let mut hermit = build_synthetic(&cfg, scheme);
+    hermit.create_hermit_index(cols::COL_C, cols::COL_B).unwrap();
+    let mut baseline = build_synthetic(&cfg, scheme);
+    baseline.create_baseline_index(cols::COL_C, false).unwrap();
+    (hermit, baseline, cfg)
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_range_0.05pct");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for kind in [CorrelationKind::Linear, CorrelationKind::Sigmoid] {
+        for scheme in [TidScheme::Logical, TidScheme::Physical] {
+            let (hermit, baseline, cfg) = setup(kind, scheme);
+            let mut gen = QueryGen::new(cfg.target_domain(), 0xBE7C);
+            let queries = gen.ranges(0.0005, 256);
+            let label = format!("{}_{}", kind.label(), scheme.label());
+            group.bench_function(BenchmarkId::new("hermit", &label), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let (lb, ub) = queries[i % queries.len()];
+                    i += 1;
+                    std::hint::black_box(
+                        hermit.lookup_range(RangePredicate::range(cols::COL_C, lb, ub), None),
+                    )
+                })
+            });
+            group.bench_function(BenchmarkId::new("baseline", &label), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let (lb, ub) = queries[i % queries.len()];
+                    i += 1;
+                    std::hint::black_box(
+                        baseline.lookup_range(RangePredicate::range(cols::COL_C, lb, ub), None),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_point");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for scheme in [TidScheme::Logical, TidScheme::Physical] {
+        let (hermit, baseline, cfg) = setup(CorrelationKind::Sigmoid, scheme);
+        let mut gen = QueryGen::new(cfg.target_domain(), 0xBE7D);
+        let points = gen.points(1024);
+        group.bench_function(BenchmarkId::new("hermit", scheme.label()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let p = points[i % points.len()];
+                i += 1;
+                std::hint::black_box(hermit.lookup_point(cols::COL_C, p))
+            })
+        });
+        group.bench_function(BenchmarkId::new("baseline", scheme.label()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let p = points[i % points.len()];
+                i += 1;
+                std::hint::black_box(baseline.lookup_point(cols::COL_C, p))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range, bench_point);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks for TRS-Tree core operations, with the
+//! B+-tree baseline alongside: construction, point/range lookup, insert.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermit_btree::BPlusTree;
+use hermit_storage::{F64Key, Tid};
+use hermit_trs::{TrsParams, TrsTree};
+use std::time::Duration;
+
+fn pairs(kind: &str, n: usize) -> Vec<(f64, f64, Tid)> {
+    (0..n)
+        .map(|i| {
+            let m = i as f64;
+            let v = match kind {
+                "linear" => 2.0 * m + 3.0,
+                _ => {
+                    let mid = n as f64 / 2.0;
+                    1.0e6 / (1.0 + (-(m - mid) / (n as f64 / 20.0)).exp())
+                }
+            };
+            (m, v, Tid(i as u64))
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in ["linear", "sigmoid"] {
+        let data = pairs(kind, 100_000);
+        group.bench_with_input(BenchmarkId::new("trs", kind), &data, |b, data| {
+            b.iter(|| {
+                TrsTree::build(TrsParams::default(), (0.0, data.len() as f64), data.clone())
+            })
+        });
+    }
+    let data = pairs("linear", 100_000);
+    let entries: Vec<(F64Key, Tid)> = data.iter().map(|(m, _, t)| (F64Key(*m), *t)).collect();
+    group.bench_function("btree_bulk_load", |b| {
+        b.iter(|| BPlusTree::bulk_load(entries.clone()))
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for kind in ["linear", "sigmoid"] {
+        let data = pairs(kind, 100_000);
+        let tree = TrsTree::build(TrsParams::default(), (0.0, 100_000.0), data);
+        group.bench_function(BenchmarkId::new("trs_point", kind), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i * 1103515245 + 12345) % 100_000;
+                std::hint::black_box(tree.lookup_point(i as f64))
+            })
+        });
+        group.bench_function(BenchmarkId::new("trs_range_0.1pct", kind), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i * 1103515245 + 12345) % 99_000;
+                std::hint::black_box(tree.lookup(i as f64, i as f64 + 100.0))
+            })
+        });
+    }
+    let data = pairs("linear", 100_000);
+    let entries: Vec<(F64Key, Tid)> = data.iter().map(|(m, _, t)| (F64Key(*m), *t)).collect();
+    let btree = BPlusTree::bulk_load(entries);
+    group.bench_function("btree_range_0.1pct", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 1103515245 + 12345) % 99_000;
+            let mut count = 0usize;
+            btree.for_each_in_range(&F64Key(i as f64), &F64Key(i as f64 + 100.0), |_, _| {
+                count += 1
+            });
+            std::hint::black_box(count)
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("trs_covered_insert", |b| {
+        let mut tree =
+            TrsTree::build(TrsParams::default(), (0.0, 100_000.0), pairs("linear", 100_000));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let m = (i % 100_000) as f64 + 0.5;
+            tree.insert(m, 2.0 * m + 3.0, Tid(200_000 + i));
+        })
+    });
+    group.bench_function("btree_insert", |b| {
+        let data = pairs("linear", 100_000);
+        let entries: Vec<(F64Key, Tid)> =
+            data.iter().map(|(m, _, t)| (F64Key(*m), *t)).collect();
+        let mut btree = BPlusTree::bulk_load(entries);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            btree.insert(F64Key((i % 100_000) as f64 + 0.5), Tid(200_000 + i));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lookup, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Construction and insertion experiments (§7.5–7.6): multi-threaded
+//! TRS-Tree construction (Fig. 21) and insertion throughput with multiple
+//! indexes (Fig. 22).
+
+use crate::harness::{self, Scale};
+use hermit_core::InsertBreakdown;
+use hermit_storage::{TidScheme, Value};
+use hermit_trs::{build_parallel, TrsParams};
+use hermit_workloads::synthetic::cols;
+use hermit_workloads::{build_synthetic, CorrelationKind, SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Fig. 21: TRS-Tree construction time vs number of threads, Linear and
+/// Sigmoid. Sigmoid needs more regression rounds; threading scales
+/// near-linearly because the top-down build has no synchronization points.
+pub fn fig21_construction_threads(scale: Scale) {
+    harness::section("fig21", "TRS-Tree construction time vs threads");
+    let tuples = scale.tuples(2_000_000);
+    for kind in [CorrelationKind::Linear, CorrelationKind::Sigmoid] {
+        let cfg = SyntheticConfig {
+            tuples,
+            correlation: kind,
+            ..Default::default()
+        };
+        // Pre-generate the pair table once (construction time measures the
+        // tree build, not data generation — as in the paper).
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let pairs: Vec<(f64, f64, hermit_storage::Tid)> = (0..tuples)
+            .map(|i| {
+                let c = rng.gen_range(0.0..tuples as f64);
+                (c, cfg.correlate(c), hermit_storage::Tid(i as u64))
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 6, 8] {
+            let t0 = Instant::now();
+            let tree =
+                build_parallel(TrsParams::default(), cfg.target_domain(), pairs.clone(), threads);
+            let elapsed = t0.elapsed();
+            harness::row(&[
+                ("correlation", kind.label().into()),
+                ("threads", threads.to_string()),
+                ("elapsed", format!("{:.3} s", elapsed.as_secs_f64())),
+                ("leaves", tree.stats().leaves.to_string()),
+            ]);
+        }
+    }
+}
+
+/// Fig. 22: insertion throughput vs number of new indexes (Hermit
+/// TRS-Trees vs baseline B+-trees on extra correlated columns), plus the
+/// per-phase breakdown at 10 indexes.
+pub fn fig22_insertion(scale: Scale) {
+    harness::section("fig22", "Insertion throughput vs number of new indexes (Linear, logical)");
+    let tuples = scale.tuples(100_000);
+    let inserts = scale.tuples(50_000);
+    for extra in [1usize, 2, 4, 8, 10] {
+        let cfg = SyntheticConfig {
+            tuples,
+            extra_columns: extra,
+            ..Default::default()
+        };
+        let run = |hermit_side: bool| -> (f64, InsertBreakdown) {
+            let mut db = build_synthetic(&cfg, TidScheme::Logical);
+            for j in 0..extra {
+                if hermit_side {
+                    db.create_hermit_index(cols::EXTRA_BASE + j, cols::COL_B).unwrap();
+                } else {
+                    db.create_baseline_index(cols::EXTRA_BASE + j, false).unwrap();
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(0xF1622);
+            let mut breakdown = InsertBreakdown::default();
+            let mut row: Vec<Value> = Vec::new();
+            let t0 = Instant::now();
+            for i in 0..inserts {
+                let c = rng.gen_range(0.0..tuples as f64);
+                let b = cfg.correlate(c);
+                row.clear();
+                row.push(Value::Int((tuples + i) as i64));
+                row.push(Value::Float(b));
+                row.push(Value::Float(c));
+                row.push(Value::Float(rng.gen_range(0.0..1.0e6)));
+                for j in 0..extra {
+                    row.push(Value::Float(b * (j as f64 + 1.5) + j as f64 * 10.0));
+                }
+                db.insert_timed(&row, &mut breakdown).unwrap();
+            }
+            (inserts as f64 / t0.elapsed().as_secs_f64(), breakdown)
+        };
+        let (h_ops, h_breakdown) = run(true);
+        let (b_ops, b_breakdown) = run(false);
+        harness::row(&[
+            ("new_indexes", extra.to_string()),
+            ("hermit", harness::fmt_ops(h_ops)),
+            ("baseline", harness::fmt_ops(b_ops)),
+            ("hermit/baseline", format!("{:.2}", h_ops / b_ops)),
+        ]);
+        if extra == 10 {
+            for (name, bd) in [("hermit", h_breakdown), ("baseline", b_breakdown)] {
+                let (table, existing, new) = bd.shares();
+                harness::row(&[
+                    ("breakdown", name.into()),
+                    ("table", format!("{:.0}%", table * 100.0)),
+                    ("existing_indexes", format!("{:.0}%", existing * 100.0)),
+                    ("new_indexes", format!("{:.0}%", new * 100.0)),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Space-consumption experiments (§7.4): index memory vs tuple count
+//! (Fig. 19) and total database memory vs number of new indexes (Fig. 20).
+
+use crate::harness::{self, Scale};
+use hermit_storage::TidScheme;
+use hermit_workloads::synthetic::cols;
+use hermit_workloads::{build_synthetic, CorrelationKind, SyntheticConfig};
+
+/// Fig. 19: memory used by the index on `colC` — TRS-Tree vs complete
+/// B+-tree — as the tuple count grows, for both correlation functions.
+pub fn fig19_index_memory(scale: Scale) {
+    harness::section("fig19", "Index memory vs number of tuples (log-scale in the paper)");
+    let base = scale.tuples(200_000);
+    for kind in [CorrelationKind::Linear, CorrelationKind::Sigmoid] {
+        for factor in [1usize, 5, 10, 15, 20] {
+            let tuples = base * factor / 20;
+            let cfg = SyntheticConfig { tuples, correlation: kind, ..Default::default() };
+            let mut hermit = build_synthetic(&cfg, TidScheme::Physical);
+            hermit.create_hermit_index(cols::COL_C, cols::COL_B).unwrap();
+            let mut baseline = build_synthetic(&cfg, TidScheme::Physical);
+            baseline.create_baseline_index(cols::COL_C, false).unwrap();
+            let trs = hermit.index(cols::COL_C).unwrap().memory_bytes();
+            let btree = baseline.index(cols::COL_C).unwrap().memory_bytes();
+            harness::row(&[
+                ("correlation", kind.label().into()),
+                ("tuples", tuples.to_string()),
+                ("trs_tree", format!("{:.3} MB", trs as f64 / 1048576.0)),
+                ("btree", format!("{:.3} MB", btree as f64 / 1048576.0)),
+                ("ratio", format!("{:.0}x", btree as f64 / trs.max(1) as f64)),
+            ]);
+        }
+    }
+}
+
+/// Fig. 20: total memory vs number of newly-added indexes (extra columns
+/// all correlated to `colB`), Hermit vs Baseline, plus the breakdown at the
+/// maximum index count.
+pub fn fig20_total_memory(scale: Scale) {
+    harness::section("fig20", "Total memory vs number of new indexes (Synthetic-Linear)");
+    let tuples = scale.tuples(200_000);
+    for extra in [1usize, 2, 4, 8, 10] {
+        let cfg = SyntheticConfig {
+            tuples,
+            extra_columns: extra,
+            ..Default::default()
+        };
+        // Hermit: each extra column gets a TRS-Tree hosted on colB.
+        let mut hermit = build_synthetic(&cfg, TidScheme::Physical);
+        for j in 0..extra {
+            hermit.create_hermit_index(cols::EXTRA_BASE + j, cols::COL_B).unwrap();
+        }
+        // Baseline: each extra column gets its own B+-tree.
+        let mut baseline = build_synthetic(&cfg, TidScheme::Physical);
+        for j in 0..extra {
+            baseline.create_baseline_index(cols::EXTRA_BASE + j, false).unwrap();
+        }
+        let (h, b) = (hermit.memory_report(), baseline.memory_report());
+        harness::row(&[
+            ("new_indexes", extra.to_string()),
+            ("hermit_total", harness::fmt_mb(h.total())),
+            ("baseline_total", harness::fmt_mb(b.total())),
+            ("baseline/hermit", format!("{:.2}", b.total() as f64 / h.total() as f64)),
+        ]);
+        if extra == 10 {
+            for (name, report) in [("hermit", h), ("baseline", b)] {
+                let total = report.total() as f64;
+                harness::row(&[
+                    ("breakdown", name.into()),
+                    ("table", format!("{:.0}%", report.table as f64 / total * 100.0)),
+                    (
+                        "existing_indexes",
+                        format!("{:.0}%", report.existing_indexes as f64 / total * 100.0),
+                    ),
+                    (
+                        "new_indexes",
+                        format!("{:.0}%", report.new_indexes as f64 / total * 100.0),
+                    ),
+                ]);
+            }
+        }
+    }
+}

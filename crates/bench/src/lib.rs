@@ -1,0 +1,18 @@
+//! # hermit-bench
+//!
+//! Benchmark harness regenerating every table and figure of the Hermit
+//! paper's evaluation (§7 + appendices). Each experiment is a function in
+//! [`experiments`] that builds the workload, runs the measurement, and
+//! prints the same rows/series the paper plots; the `figures` binary
+//! dispatches them by id (`fig04` … `fig27_30`, `table1`).
+//!
+//! Absolute numbers will differ from the paper (different hardware, a
+//! simulated substrate instead of DBMS-X/PostgreSQL, scaled-down data),
+//! but the *shapes* — who wins, by what factor, where gaps open and close —
+//! are the reproduction target. Default sizes are laptop-scale; the
+//! `--scale` flag multiplies them back toward paper scale.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{measure_ops, measure_ops_with, Scale};

@@ -1,0 +1,111 @@
+//! B+-tree node representation.
+//!
+//! Nodes live in a flat arena ([`crate::tree::BPlusTree`] owns the `Vec`)
+//! and reference each other by index, which keeps the tree compact,
+//! cache-friendly, and free of `unsafe`. The per-node key budget is chosen
+//! so an internal node's key array is ~256 bytes for 8-byte keys, matching
+//! the node size used by DBMS-X in the paper (§7.1).
+
+/// Index of a node inside the tree's arena.
+pub type NodeId = u32;
+
+/// Sentinel meaning "no node" (used for the last leaf's `next` link).
+pub const NIL: NodeId = u32::MAX;
+
+/// Maximum keys per node. 32 keys × 8 bytes = 256-byte key array, the
+/// paper's node size.
+pub const MAX_KEYS: usize = 32;
+
+/// Minimum keys after a split (half of max).
+pub const MIN_KEYS: usize = MAX_KEYS / 2;
+
+/// One node of the B+-tree: either an internal router or a leaf holding
+/// `(key, value)` entries.
+#[derive(Debug, Clone)]
+pub enum Node<K, V> {
+    /// Internal node: `children.len() == keys.len() + 1`; child `i` holds
+    /// keys `< keys[i]` (with duplicates routed right on equality at insert
+    /// time, and scans starting left on equality at lookup time).
+    Internal {
+        /// Separator keys.
+        keys: Vec<K>,
+        /// Child node ids.
+        children: Vec<NodeId>,
+    },
+    /// Leaf node: sorted multi-set of entries plus a right-sibling link for
+    /// range scans.
+    Leaf {
+        /// Sorted keys (duplicates allowed).
+        keys: Vec<K>,
+        /// Values parallel to `keys`.
+        values: Vec<V>,
+        /// Right sibling, or [`NIL`].
+        next: NodeId,
+    },
+}
+
+impl<K, V> Node<K, V> {
+    /// Fresh empty leaf.
+    pub fn new_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::with_capacity(MAX_KEYS),
+            values: Vec::with_capacity(MAX_KEYS),
+            next: NIL,
+        }
+    }
+
+    /// True if this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of keys stored.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } => keys.len(),
+            Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Approximate heap bytes held by this node (used by the memory
+    /// experiments). `size_of` the element types times capacities plus the
+    /// enum header.
+    pub fn memory_bytes(&self) -> usize {
+        let header = std::mem::size_of::<Self>();
+        match self {
+            Node::Internal { keys, children } => {
+                header
+                    + keys.capacity() * std::mem::size_of::<K>()
+                    + children.capacity() * std::mem::size_of::<NodeId>()
+            }
+            Node::Leaf { keys, values, .. } => {
+                header
+                    + keys.capacity() * std::mem::size_of::<K>()
+                    + values.capacity() * std::mem::size_of::<V>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_starts_empty_with_capacity() {
+        let n: Node<u64, u64> = Node::new_leaf();
+        assert!(n.is_leaf());
+        assert_eq!(n.key_count(), 0);
+        assert!(n.memory_bytes() >= MAX_KEYS * 8);
+    }
+
+    #[test]
+    fn memory_accounts_for_both_sides() {
+        let n: Node<u64, u64> = Node::Internal {
+            keys: vec![1, 2, 3],
+            children: vec![0, 1, 2, 3],
+        };
+        assert_eq!(n.key_count(), 3);
+        assert!(n.memory_bytes() >= 3 * 8 + 4 * 4);
+    }
+}

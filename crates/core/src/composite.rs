@@ -1,0 +1,493 @@
+//! Multi-column secondary indexes (§3 of the paper).
+//!
+//! > "Suppose that two columns A and M on a table are queried together
+//! > frequently, so an index on (A, M) is desirable. Hermit can utilize a
+//! > host index on (A, N) and the correlation between M and N, to answer
+//! > queries on A and M."
+//!
+//! This module adds that capability: composite B+-tree indexes keyed on a
+//! *(leading, value)* column pair, and composite Hermit indexes where the
+//! value column routes through a correlated host column that shares the
+//! same leading column. A *box* query — a conjunction of a leading-column
+//! range and a value-column range — then runs either directly on the
+//! composite baseline index or through the TRS-Tree + composite host
+//! pipeline.
+//!
+//! Key layout: lexicographic `(leading, value)` pairs. A box query scans
+//! the leading range and filters the second dimension in-index, which is
+//! exactly what a conventional RDBMS does with a composite B+-tree when
+//! the leading predicate is the more selective one.
+
+use crate::database::{Database, Heap};
+use crate::executor::{QueryResult, RangePredicate};
+use hermit_btree::BPlusTree;
+use hermit_storage::{ColumnId, F64Key, StorageError, Tid, TidScheme};
+use hermit_trs::{TrsParams, TrsTree};
+use std::time::Instant;
+
+/// A composite key: (leading column value, second column value), ordered
+/// lexicographically (derived `Ord` on the tuple).
+pub type CompositeKey = (F64Key, F64Key);
+
+/// A two-column secondary index.
+pub enum CompositeIndex {
+    /// Complete composite B+-tree on `(leading, value)`.
+    Baseline {
+        /// The tree, keyed lexicographically.
+        tree: BPlusTree<CompositeKey, Tid>,
+        /// Leading column id.
+        leading: ColumnId,
+        /// Second (value) column id.
+        value: ColumnId,
+    },
+    /// Hermit composite index: a TRS-Tree on `target → host` plus the name
+    /// of a composite baseline index on `(leading, host)` that serves the
+    /// translated probes.
+    Hermit {
+        /// Correlation structure from the target column to the host column.
+        trs: TrsTree,
+        /// Leading column id (shared with the host index).
+        leading: ColumnId,
+        /// Target (indexed) column id.
+        target: ColumnId,
+        /// Host column id.
+        host: ColumnId,
+    },
+}
+
+impl CompositeIndex {
+    /// Heap bytes held by the index structure.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            CompositeIndex::Baseline { tree, .. } => tree.memory_bytes(),
+            CompositeIndex::Hermit { trs, .. } => trs.memory_bytes(),
+        }
+    }
+
+    /// True for the Hermit variant.
+    pub fn is_hermit(&self) -> bool {
+        matches!(self, CompositeIndex::Hermit { .. })
+    }
+}
+
+/// Composite-index registry and executor, layered over [`Database`].
+///
+/// Kept separate from the single-column path so the core executor stays
+/// exactly the paper's Fig. 3 pipeline; a composite database wraps the two.
+pub struct CompositeIndexes {
+    indexes: Vec<CompositeIndex>,
+}
+
+impl Default for CompositeIndexes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompositeIndexes {
+    /// Empty registry.
+    pub fn new() -> Self {
+        CompositeIndexes { indexes: Vec::new() }
+    }
+
+    /// Number of composite indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// True if no composite indexes exist.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Borrow an index by position.
+    pub fn get(&self, i: usize) -> Option<&CompositeIndex> {
+        self.indexes.get(i)
+    }
+
+    /// Build a composite baseline index on `(leading, value)` over the
+    /// current contents of `db`. Returns its registry position.
+    pub fn create_baseline(
+        &mut self,
+        db: &Database,
+        leading: ColumnId,
+        value: ColumnId,
+    ) -> hermit_storage::Result<usize> {
+        let mut entries: Vec<(CompositeKey, Tid)> = Vec::with_capacity(db.len());
+        for_each_row_pair(db, leading, value, |lead, val, tid| {
+            entries.push(((F64Key(lead), F64Key(val)), tid));
+        })?;
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let tree = BPlusTree::bulk_load(entries);
+        self.indexes.push(CompositeIndex::Baseline { tree, leading, value });
+        Ok(self.indexes.len() - 1)
+    }
+
+    /// Build a composite Hermit index on `(leading, target)` routed through
+    /// the host column: requires that a composite baseline on
+    /// `(leading, host)` already exists in this registry (the paper's
+    /// precondition, composite form). Returns its registry position.
+    pub fn create_hermit(
+        &mut self,
+        db: &Database,
+        leading: ColumnId,
+        target: ColumnId,
+        host: ColumnId,
+        params: TrsParams,
+    ) -> hermit_storage::Result<usize> {
+        assert!(
+            self.indexes.iter().any(|idx| matches!(
+                idx,
+                CompositeIndex::Baseline { leading: l, value: v, .. } if *l == leading && *v == host
+            )),
+            "a composite baseline index on (leading={leading}, host={host}) must exist first"
+        );
+        // TRS-Tree over target → host pairs (leading plays no role in the
+        // correlation itself).
+        let mut pairs: Vec<(f64, f64, Tid)> = Vec::with_capacity(db.len());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for_each_row_triple(db, target, host, |t, h, tid| {
+            lo = lo.min(t);
+            hi = hi.max(t);
+            pairs.push((t, h, tid));
+        })?;
+        if pairs.is_empty() {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        let trs = TrsTree::build(params, (lo, hi), pairs);
+        self.indexes.push(CompositeIndex::Hermit { trs, leading, target, host });
+        Ok(self.indexes.len() - 1)
+    }
+
+    /// Maintain all composite indexes for a newly-inserted row.
+    pub fn insert_row(&mut self, db: &Database, row: &[hermit_storage::Value], tid: Tid) {
+        for index in &mut self.indexes {
+            match index {
+                CompositeIndex::Baseline { tree, leading, value } => {
+                    if let (Some(l), Some(v)) = (row[*leading].as_f64(), row[*value].as_f64()) {
+                        tree.insert((F64Key(l), F64Key(v)), tid);
+                    }
+                }
+                CompositeIndex::Hermit { trs, target, host, .. } => {
+                    if let (Some(m), Some(n)) = (row[*target].as_f64(), row[*host].as_f64()) {
+                        trs.insert(m, n, tid);
+                    }
+                }
+            }
+        }
+        let _ = db;
+    }
+
+    /// Execute a box query — `leading ∈ [l.lb, l.ub] AND value ∈ [v.lb,
+    /// v.ub]` — against the composite index at `idx`.
+    ///
+    /// The baseline path answers from the composite tree directly; the
+    /// Hermit path translates the value predicate through the TRS-Tree,
+    /// probes the companion `(leading, host)` baseline with the box, and
+    /// validates at the base table (the three-phase pipeline in composite
+    /// form).
+    pub fn lookup_box(
+        &self,
+        db: &Database,
+        idx: usize,
+        leading_pred: RangePredicate,
+        value_pred: RangePredicate,
+    ) -> QueryResult {
+        let mut result = QueryResult::default();
+        let Some(index) = self.indexes.get(idx) else { return result };
+        match index {
+            CompositeIndex::Baseline { tree, .. } => {
+                let t0 = Instant::now();
+                let mut candidates: Vec<Tid> = Vec::new();
+                scan_box(tree, &leading_pred, &value_pred, |tid| candidates.push(tid));
+                result.breakdown.host_index += t0.elapsed();
+                finish(db, candidates, value_pred, Some(leading_pred), false, &mut result);
+            }
+            CompositeIndex::Hermit { trs, leading, host, .. } => {
+                // Phase 1: TRS-Tree translation of the value predicate.
+                let t0 = Instant::now();
+                let approx = trs.lookup(value_pred.lb, value_pred.ub);
+                result.breakdown.trs_tree += t0.elapsed();
+
+                // Phase 2: box probes on the (leading, host) baseline.
+                let t1 = Instant::now();
+                let Some(CompositeIndex::Baseline { tree, .. }) =
+                    self.indexes.iter().find(|i| matches!(
+                        i,
+                        CompositeIndex::Baseline { leading: l, value: v, .. }
+                            if *l == *leading && *v == *host
+                    ))
+                else {
+                    return result;
+                };
+                let had_outliers = !approx.tids.is_empty();
+                let mut candidates: Vec<Tid> = approx.tids;
+                for (lo, hi) in &approx.ranges {
+                    let host_pred = RangePredicate { column: *host, lb: *lo, ub: *hi };
+                    scan_box(tree, &leading_pred, &host_pred, |tid| candidates.push(tid));
+                }
+                if had_outliers {
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                }
+                result.breakdown.host_index += t1.elapsed();
+
+                finish(db, candidates, value_pred, Some(leading_pred), true, &mut result);
+            }
+        }
+        result
+    }
+
+    /// Total heap bytes across all composite indexes.
+    pub fn memory_bytes(&self) -> usize {
+        self.indexes.iter().map(|i| i.memory_bytes()).sum()
+    }
+}
+
+/// Scan the composite tree over the leading range, filtering the second
+/// dimension, yielding tids.
+fn scan_box(
+    tree: &BPlusTree<CompositeKey, Tid>,
+    leading: &RangePredicate,
+    value: &RangePredicate,
+    mut f: impl FnMut(Tid),
+) {
+    let lo = (F64Key(leading.lb), F64Key(f64::NEG_INFINITY));
+    let hi = (F64Key(leading.ub), F64Key(f64::INFINITY));
+    tree.for_each_in_range(&lo, &hi, |key, tid| {
+        if key.1 .0 >= value.lb && key.1 .0 <= value.ub {
+            f(*tid);
+        }
+    });
+}
+
+/// Shared tail: resolve tids and validate both predicates at the base
+/// table. Mirrors the single-column executor's phases 3–4.
+fn finish(
+    db: &Database,
+    candidates: Vec<Tid>,
+    value_pred: RangePredicate,
+    leading_pred: Option<RangePredicate>,
+    validate_value: bool,
+    result: &mut QueryResult,
+) {
+    let locs: Vec<hermit_storage::RowLoc> = match db.scheme() {
+        TidScheme::Physical => candidates.into_iter().map(|t| t.as_loc()).collect(),
+        TidScheme::Logical => {
+            let t = Instant::now();
+            let locs = candidates
+                .into_iter()
+                .filter_map(|tid| {
+                    let loc = db.primary().get(tid.as_pk());
+                    if loc.is_none() {
+                        result.unresolved += 1;
+                    }
+                    loc
+                })
+                .collect();
+            result.breakdown.primary_index += t.elapsed();
+            locs
+        }
+    };
+    let t = Instant::now();
+    for loc in locs {
+        let value_ok = if validate_value {
+            match db.heap().value_f64(loc, value_pred.column) {
+                Ok(v) => value_pred.matches(v),
+                Err(_) => {
+                    result.unresolved += 1;
+                    continue;
+                }
+            }
+        } else {
+            true
+        };
+        let leading_ok = leading_pred.is_none_or(|p| {
+            db.heap().value_f64(loc, p.column).map(|v| p.matches(v)).unwrap_or(false)
+        });
+        if value_ok && leading_ok {
+            result.rows.push(loc);
+        } else {
+            result.false_positives += 1;
+        }
+    }
+    result.breakdown.base_table += t.elapsed();
+}
+
+fn for_each_row_pair(
+    db: &Database,
+    a: ColumnId,
+    b: ColumnId,
+    mut f: impl FnMut(f64, f64, Tid),
+) -> hermit_storage::Result<()> {
+    match db.heap() {
+        Heap::Mem(table) => {
+            let ca = table.column(a)?;
+            let cb = table.column(b)?;
+            let pk_col = 0; // primary key convention used by make-tid below
+            let cpk = table.column(pk_col)?;
+            for loc in table.scan() {
+                let i = loc.index();
+                if let (Some(x), Some(y)) = (ca.get_f64(i), cb.get_f64(i)) {
+                    let tid = match db.scheme() {
+                        TidScheme::Physical => Tid::from_loc(loc),
+                        TidScheme::Logical => {
+                            Tid::from_pk(cpk.get_f64(i).unwrap_or(0.0) as i64)
+                        }
+                    };
+                    f(x, y, tid);
+                }
+            }
+            Ok(())
+        }
+        Heap::Paged(_) => Err(StorageError::Io(
+            "composite indexes are implemented for the in-memory substrate".into(),
+        )),
+    }
+}
+
+fn for_each_row_triple(
+    db: &Database,
+    a: ColumnId,
+    b: ColumnId,
+    f: impl FnMut(f64, f64, Tid),
+) -> hermit_storage::Result<()> {
+    for_each_row_pair(db, a, b, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermit_storage::{ColumnDef, Schema, Value};
+
+    /// Stock-like table: time (pk), dj (host), sp (target, ≈ dj/8).
+    fn stock_db(scheme: TidScheme, n: usize) -> Database {
+        let schema = Schema::new(vec![
+            ColumnDef::int("time"),
+            ColumnDef::float("dj"),
+            ColumnDef::float("sp"),
+        ]);
+        let mut db = Database::new(schema, 0, scheme);
+        for t in 0..n {
+            // Slow upward drift with deterministic wiggle.
+            let dj = 3_000.0 + t as f64 * 0.5 + ((t % 97) as f64 - 48.0);
+            let sp = dj / 8.0 + ((t % 13) as f64 - 6.0) * 0.05;
+            db.insert(&[Value::Int(t as i64), Value::Float(dj), Value::Float(sp)]).unwrap();
+        }
+        db
+    }
+
+    fn ground_truth(db: &Database, tl: f64, tu: f64, sl: f64, su: f64) -> usize {
+        let Heap::Mem(table) = db.heap() else { unreachable!() };
+        let time = table.column(0).unwrap();
+        let sp = table.column(2).unwrap();
+        table
+            .scan()
+            .filter(|loc| {
+                let i = loc.index();
+                time.get_f64(i).is_some_and(|t| t >= tl && t <= tu)
+                    && sp.get_f64(i).is_some_and(|s| s >= sl && s <= su)
+            })
+            .count()
+    }
+
+    #[test]
+    fn composite_baseline_box_query_exact() {
+        let db = stock_db(TidScheme::Physical, 20_000);
+        let mut comp = CompositeIndexes::new();
+        let idx = comp.create_baseline(&db, 0, 2).unwrap();
+        let r = comp.lookup_box(
+            &db,
+            idx,
+            RangePredicate::range(0, 5_000.0, 10_000.0),
+            RangePredicate::range(2, 700.0, 800.0),
+        );
+        assert_eq!(r.rows.len(), ground_truth(&db, 5_000.0, 10_000.0, 700.0, 800.0));
+        assert!(r.rows.len() > 100, "box should be non-trivial: {}", r.rows.len());
+    }
+
+    #[test]
+    fn composite_hermit_matches_composite_baseline() {
+        for scheme in [TidScheme::Physical, TidScheme::Logical] {
+            let db = stock_db(scheme, 20_000);
+            let mut comp = CompositeIndexes::new();
+            // Host: (time, dj). Direct: (time, sp). Hermit: sp → dj via host.
+            comp.create_baseline(&db, 0, 1).unwrap();
+            let direct = comp.create_baseline(&db, 0, 2).unwrap();
+            let hermit = comp.create_hermit(&db, 0, 2, 1, TrsParams::default()).unwrap();
+
+            for (tl, tu, sl, su) in [
+                (1_000.0, 4_000.0, 500.0, 600.0),
+                (0.0, 20_000.0, 800.0, 820.0),
+                (15_000.0, 16_000.0, 0.0, 10_000.0),
+                (7.0, 7.0, 0.0, 10_000.0),
+            ] {
+                let a = comp.lookup_box(
+                    &db,
+                    direct,
+                    RangePredicate::range(0, tl, tu),
+                    RangePredicate::range(2, sl, su),
+                );
+                let b = comp.lookup_box(
+                    &db,
+                    hermit,
+                    RangePredicate::range(0, tl, tu),
+                    RangePredicate::range(2, sl, su),
+                );
+                let mut ra = a.rows.clone();
+                let mut rb = b.rows.clone();
+                ra.sort();
+                rb.sort();
+                assert_eq!(ra, rb, "{scheme:?} box ([{tl},{tu}] × [{sl},{su}])");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_hermit_is_succinct() {
+        let db = stock_db(TidScheme::Physical, 20_000);
+        let mut comp = CompositeIndexes::new();
+        comp.create_baseline(&db, 0, 1).unwrap();
+        let direct = comp.create_baseline(&db, 0, 2).unwrap();
+        let hermit = comp.create_hermit(&db, 0, 2, 1, TrsParams::default()).unwrap();
+        let direct_bytes = comp.get(direct).unwrap().memory_bytes();
+        let hermit_bytes = comp.get(hermit).unwrap().memory_bytes();
+        assert!(
+            hermit_bytes * 5 < direct_bytes,
+            "composite TRS-Tree ({hermit_bytes}) must be ≪ composite B+-tree ({direct_bytes})"
+        );
+    }
+
+    #[test]
+    fn composite_insert_maintenance() {
+        let mut db = stock_db(TidScheme::Physical, 5_000);
+        let mut comp = CompositeIndexes::new();
+        comp.create_baseline(&db, 0, 1).unwrap();
+        let hermit = comp.create_hermit(&db, 0, 2, 1, TrsParams::default()).unwrap();
+        // Insert a fresh row with an off-model sp (outlier).
+        let row =
+            vec![Value::Int(5_000), Value::Float(6_000.0), Value::Float(123_456.0)];
+        let tid = db.insert(&row).unwrap();
+        comp.insert_row(&db, &row, tid);
+        let r = comp.lookup_box(
+            &db,
+            hermit,
+            RangePredicate::range(0, 4_999.0, 5_001.0),
+            RangePredicate::range(2, 123_000.0, 124_000.0),
+        );
+        assert_eq!(r.rows.len(), 1, "outlier insert must be reachable through the box path");
+    }
+
+    #[test]
+    fn hermit_requires_matching_host() {
+        let db = stock_db(TidScheme::Physical, 100);
+        let mut comp = CompositeIndexes::new();
+        // No composite baseline on (0, 1) yet → must panic.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            comp.create_hermit(&db, 0, 2, 1, TrsParams::default()).unwrap();
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Correlation discovery (Appendix D.1 of the paper).
+//!
+//! Hermit relies on the RDBMS (or the DBA) to surface candidate column
+//! correlations. This module implements the screening workflow the paper
+//! describes: for a target column and each candidate host column, compute
+//! Pearson (linear) and Spearman (monotone) coefficients over a random
+//! sample; a candidate qualifies when either coefficient's magnitude
+//! reaches the threshold. Monotone-but-nonlinear correlations (sigmoid)
+//! pass via Spearman; non-monotone ones (sin) fail both — exactly the
+//! Fig. 25 taxonomy.
+
+use hermit_stats::{pearson, sampling, spearman};
+use hermit_storage::{ColumnId, Table};
+
+/// Configuration for correlation discovery.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryConfig {
+    /// Minimum |coefficient| (Pearson or Spearman) to qualify.
+    pub threshold: f64,
+    /// Sample size drawn from the table (discovery must not scan 20M rows).
+    pub sample_size: usize,
+    /// RNG seed for reproducible sampling.
+    pub seed: u64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig { threshold: 0.8, sample_size: 10_000, seed: 0xD15C0u64 }
+    }
+}
+
+/// Outcome of screening one (target, host) column pair.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelationReport {
+    /// Candidate host column.
+    pub host: ColumnId,
+    /// Pearson coefficient over the sample.
+    pub pearson: f64,
+    /// Spearman coefficient over the sample.
+    pub spearman: f64,
+}
+
+impl CorrelationReport {
+    /// The larger coefficient magnitude — the score used for ranking.
+    pub fn score(&self) -> f64 {
+        self.pearson.abs().max(self.spearman.abs())
+    }
+}
+
+/// Screen `target` against every column in `hosts`, returning qualifying
+/// candidates sorted best-first.
+///
+/// Rows where either side is NULL are skipped (the Stock table's missing
+/// readings must not poison the coefficients).
+pub fn discover_correlations(
+    table: &Table,
+    target: ColumnId,
+    hosts: &[ColumnId],
+    config: &DiscoveryConfig,
+) -> Vec<CorrelationReport> {
+    let mut rng = sampling::seeded_rng(config.seed);
+    let total = table.total_rows();
+    let sample = sampling::sample_indices(&mut rng, total, config.sample_size);
+
+    let target_col = match table.column(target) {
+        Ok(c) => c,
+        Err(_) => return Vec::new(),
+    };
+
+    let mut reports: Vec<CorrelationReport> = hosts
+        .iter()
+        .filter(|&&h| h != target)
+        .filter_map(|&host| {
+            let host_col = table.column(host).ok()?;
+            let mut xs = Vec::with_capacity(sample.len());
+            let mut ys = Vec::with_capacity(sample.len());
+            for &i in &sample {
+                if let (Some(x), Some(y)) = (target_col.get_f64(i), host_col.get_f64(i)) {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+            if xs.len() < 2 {
+                return None;
+            }
+            let report = CorrelationReport {
+                host,
+                pearson: pearson(&xs, &ys),
+                spearman: spearman(&xs, &ys),
+            };
+            (report.score() >= config.threshold).then_some(report)
+        })
+        .collect();
+    reports.sort_by(|a, b| b.score().total_cmp(&a.score()));
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermit_storage::{ColumnDef, Schema, Value};
+
+    /// Table with: pk | linear(host) | sigmoid(host) | sin(noise) | target
+    fn test_table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::int("pk"),
+            ColumnDef::float("linear"),
+            ColumnDef::float("sigmoid"),
+            ColumnDef::float("sin"),
+            ColumnDef::float("target"),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let m = i as f64 / n as f64 * 20.0 - 10.0;
+            t.insert(&[
+                Value::Int(i as i64),
+                Value::Float(3.0 * m + 1.0),
+                Value::Float(1.0 / (1.0 + (-m).exp())),
+                Value::Float((m * 50.0).sin()),
+                Value::Float(m),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn discovers_linear_and_monotone_but_not_sin() {
+        let t = test_table(20_000);
+        let reports =
+            discover_correlations(&t, 4, &[1, 2, 3], &DiscoveryConfig::default());
+        let hosts: Vec<ColumnId> = reports.iter().map(|r| r.host).collect();
+        assert!(hosts.contains(&1), "linear host must qualify");
+        assert!(hosts.contains(&2), "sigmoid host must qualify via Spearman");
+        assert!(!hosts.contains(&3), "sin must not qualify");
+        // Linear should rank at (or tied with) the top.
+        assert!(reports[0].score() > 0.99);
+    }
+
+    #[test]
+    fn sigmoid_needs_spearman() {
+        let t = test_table(20_000);
+        let reports = discover_correlations(&t, 4, &[2], &DiscoveryConfig::default());
+        assert_eq!(reports.len(), 1);
+        let r = reports[0];
+        assert!(
+            r.spearman.abs() > r.pearson.abs(),
+            "sigmoid is monotone, not linear: spearman {} vs pearson {}",
+            r.spearman,
+            r.pearson
+        );
+    }
+
+    #[test]
+    fn target_excluded_from_candidates() {
+        let t = test_table(5_000);
+        let reports = discover_correlations(&t, 4, &[4], &DiscoveryConfig::default());
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let schema = Schema::new(vec![
+            ColumnDef::float("a"),
+            ColumnDef::float_null("b"),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..1_000 {
+            let b = if i % 3 == 0 { Value::Null } else { Value::Float(2.0 * i as f64) };
+            t.insert(&[Value::Float(i as f64), b]).unwrap();
+        }
+        let reports = discover_correlations(&t, 0, &[1], &DiscoveryConfig::default());
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].pearson > 0.99);
+    }
+
+    #[test]
+    fn high_threshold_filters_everything() {
+        let t = test_table(5_000);
+        let config = DiscoveryConfig { threshold: 1.1, ..Default::default() };
+        assert!(discover_correlations(&t, 4, &[1, 2, 3], &config).is_empty());
+    }
+
+    #[test]
+    fn bad_column_ids_are_safe() {
+        let t = test_table(100);
+        assert!(discover_correlations(&t, 99, &[1], &DiscoveryConfig::default()).is_empty());
+        assert!(discover_correlations(&t, 4, &[99], &DiscoveryConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,657 @@
+//! The database facade: one table, a primary index, and secondary indexes.
+//!
+//! This is the integration point of the whole system. A [`Database`] owns:
+//!
+//! * a heap — in-memory columnar ([`hermit_storage::Table`], the DBMS-X
+//!   substrate) or paged ([`hermit_storage::paged::PagedTable`], the
+//!   PostgreSQL substrate of §7.8);
+//! * a hash primary index (primary key → row location), used both for
+//!   uniqueness and to resolve logical tids;
+//! * per-column secondary indexes, each a baseline B+-tree or a Hermit
+//!   TRS-Tree ([`SecondaryIndex`]).
+//!
+//! The tuple-identifier scheme ([`TidScheme`]) is fixed per database, as in
+//! real systems (PostgreSQL = physical, MySQL = logical).
+
+use crate::breakdown::InsertBreakdown;
+use crate::correlation::{discover_correlations, DiscoveryConfig};
+use crate::index::SecondaryIndex;
+use hermit_btree::{BPlusTree, HashPrimaryIndex};
+use hermit_storage::paged::PagedTable;
+use hermit_storage::{
+    ColumnId, ColumnStats, F64Key, RowLoc, Schema, StorageError, Table, Tid, TidScheme, Value,
+};
+use hermit_trs::{PairSource, TrsParams, TrsTree};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The table heap backing a database: in-memory or paged.
+pub enum Heap {
+    /// In-memory columnar heap (DBMS-X substrate).
+    Mem(Table),
+    /// Slotted-page heap behind a buffer pool (PostgreSQL substrate).
+    Paged(PagedTable),
+}
+
+impl Heap {
+    /// Live row count.
+    pub fn len(&self) -> usize {
+        match self {
+            Heap::Mem(t) => t.len(),
+            Heap::Paged(t) => t.len(),
+        }
+    }
+
+    /// True if no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schema of the heap.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            Heap::Mem(t) => t.schema(),
+            Heap::Paged(t) => t.schema(),
+        }
+    }
+
+    fn insert(&mut self, row: &[Value]) -> hermit_storage::Result<RowLoc> {
+        match self {
+            Heap::Mem(t) => t.insert(row),
+            Heap::Paged(t) => t.insert(row),
+        }
+    }
+
+    /// Numeric cell access (`None` for NULL); the validation hot path.
+    pub fn value_f64(
+        &self,
+        loc: RowLoc,
+        cid: ColumnId,
+    ) -> hermit_storage::Result<Option<f64>> {
+        match self {
+            Heap::Mem(t) => t.value_f64(loc, cid),
+            Heap::Paged(t) => t.value_f64(loc, cid),
+        }
+    }
+
+    /// Full-row fetch.
+    pub fn get(&self, loc: RowLoc) -> hermit_storage::Result<Vec<Value>> {
+        match self {
+            Heap::Mem(t) => t.get(loc),
+            Heap::Paged(t) => t.get(loc),
+        }
+    }
+
+    fn delete(&mut self, loc: RowLoc) -> hermit_storage::Result<()> {
+        match self {
+            Heap::Mem(t) => t.delete(loc),
+            Heap::Paged(t) => t.delete(loc),
+        }
+    }
+
+    fn stats(&self, cid: ColumnId) -> hermit_storage::Result<ColumnStats> {
+        match self {
+            Heap::Mem(t) => t.stats(cid).cloned(),
+            Heap::Paged(t) => t.stats(cid),
+        }
+    }
+
+    fn project_pairs(
+        &self,
+        target: ColumnId,
+        host: ColumnId,
+    ) -> hermit_storage::Result<Vec<(f64, f64, RowLoc)>> {
+        match self {
+            Heap::Mem(t) => t.project_pairs(target, host),
+            Heap::Paged(t) => t.project_pairs(target, host),
+        }
+    }
+
+    /// Heap bytes (in-memory) or buffered bytes (paged heaps report zero —
+    /// their storage lives on the device, which is the point of §7.8).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Heap::Mem(t) => t.memory_bytes(),
+            Heap::Paged(_) => 0,
+        }
+    }
+}
+
+/// Memory usage of one database, split the way the paper's space-breakdown
+/// figures (5b, 7b, 20b) report it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Base-table bytes.
+    pub table: usize,
+    /// Primary index + host-column baseline indexes ("existing indexes").
+    pub existing_indexes: usize,
+    /// Newly created indexes under test (baseline or Hermit).
+    pub new_indexes: usize,
+}
+
+impl MemoryReport {
+    /// Sum of all components.
+    pub fn total(&self) -> usize {
+        self.table + self.existing_indexes + self.new_indexes
+    }
+}
+
+/// A single-table database with Hermit support.
+pub struct Database {
+    heap: Heap,
+    scheme: TidScheme,
+    pk_col: ColumnId,
+    primary: HashPrimaryIndex,
+    /// Secondary indexes by indexed column.
+    secondary: BTreeMap<ColumnId, SecondaryIndex>,
+    /// Columns whose indexes existed before the experiment began; their
+    /// maintenance cost is charged to "existing indexes" in breakdowns.
+    existing: Vec<ColumnId>,
+    trs_params: TrsParams,
+}
+
+impl Database {
+    /// In-memory database.
+    pub fn new(schema: Schema, pk_col: ColumnId, scheme: TidScheme) -> Self {
+        Database {
+            heap: Heap::Mem(Table::new(schema)),
+            scheme,
+            pk_col,
+            primary: HashPrimaryIndex::new(),
+            secondary: BTreeMap::new(),
+            existing: Vec::new(),
+            trs_params: TrsParams::default(),
+        }
+    }
+
+    /// Paged (disk-backed) database; always physical pointers, like
+    /// PostgreSQL.
+    pub fn new_paged(table: PagedTable, pk_col: ColumnId) -> Self {
+        Database {
+            heap: Heap::Paged(table),
+            scheme: TidScheme::Physical,
+            pk_col,
+            primary: HashPrimaryIndex::new(),
+            secondary: BTreeMap::new(),
+            existing: Vec::new(),
+            trs_params: TrsParams::default(),
+        }
+    }
+
+    /// Override the TRS-Tree parameters used by subsequent
+    /// `create_hermit_index` calls.
+    pub fn set_trs_params(&mut self, params: TrsParams) {
+        self.trs_params = params;
+    }
+
+    /// The tuple-identifier scheme in force.
+    pub fn scheme(&self) -> TidScheme {
+        self.scheme
+    }
+
+    /// Borrow the heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Live row count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Borrow a secondary index.
+    pub fn index(&self, col: ColumnId) -> Option<&SecondaryIndex> {
+        self.secondary.get(&col)
+    }
+
+    /// Mutable access to a secondary index (reorganization driver).
+    pub fn index_mut(&mut self, col: ColumnId) -> Option<&mut SecondaryIndex> {
+        self.secondary.get_mut(&col)
+    }
+
+    /// Columns with secondary indexes, in column order.
+    pub fn indexed_columns(&self) -> Vec<ColumnId> {
+        self.secondary.keys().copied().collect()
+    }
+
+    /// The primary index.
+    pub fn primary(&self) -> &HashPrimaryIndex {
+        &self.primary
+    }
+
+    /// Build the tid for a newly inserted row.
+    fn make_tid(&self, pk: i64, loc: RowLoc) -> Tid {
+        match self.scheme {
+            TidScheme::Logical => Tid::from_pk(pk),
+            TidScheme::Physical => Tid::from_loc(loc),
+        }
+    }
+
+    /// Resolve a tid to a row location (the primary-index hop under logical
+    /// pointers).
+    pub fn resolve(&self, tid: Tid) -> Option<RowLoc> {
+        match self.scheme {
+            TidScheme::Physical => Some(tid.as_loc()),
+            TidScheme::Logical => self.primary.get(tid.as_pk()),
+        }
+    }
+
+    /// Insert a row, maintaining the primary and all secondary indexes.
+    pub fn insert(&mut self, row: &[Value]) -> hermit_storage::Result<Tid> {
+        self.insert_timed(row, &mut InsertBreakdown::default())
+    }
+
+    /// Insert with per-phase timing (Fig. 22's harness).
+    pub fn insert_timed(
+        &mut self,
+        row: &[Value],
+        breakdown: &mut InsertBreakdown,
+    ) -> hermit_storage::Result<Tid> {
+        let pk = row
+            .get(self.pk_col)
+            .and_then(|v| v.as_i64())
+            .ok_or(StorageError::TypeMismatch { column: self.pk_col, expected: "Int" })?;
+
+        let t0 = Instant::now();
+        let loc = self.heap.insert(row)?;
+        self.primary.insert(pk, loc);
+        breakdown.table += t0.elapsed();
+        let tid = self.make_tid(pk, loc);
+
+        // Maintain secondary indexes, charging existing vs new separately.
+        let existing = self.existing.clone();
+        for (&col, index) in self.secondary.iter_mut() {
+            let t1 = Instant::now();
+            match index {
+                SecondaryIndex::Baseline(tree) => {
+                    if let Some(key) = row[col].as_f64() {
+                        tree.insert(F64Key(key), tid);
+                    }
+                }
+                SecondaryIndex::Hermit { trs, host } => {
+                    if let (Some(m), Some(n)) = (row[col].as_f64(), row[*host].as_f64()) {
+                        trs.insert(m, n, tid);
+                    }
+                }
+            }
+            let d = t1.elapsed();
+            if existing.contains(&col) {
+                breakdown.existing_indexes += d;
+            } else {
+                breakdown.new_indexes += d;
+            }
+        }
+        Ok(tid)
+    }
+
+    /// Delete a row by primary key, maintaining all indexes.
+    pub fn delete_by_pk(&mut self, pk: i64) -> hermit_storage::Result<()> {
+        let loc = self
+            .primary
+            .get(pk)
+            .ok_or(StorageError::RowNotFound { loc: pk as u64 })?;
+        let row = self.heap.get(loc)?;
+        let tid = self.make_tid(pk, loc);
+        for (&col, index) in self.secondary.iter_mut() {
+            match index {
+                SecondaryIndex::Baseline(tree) => {
+                    if let Some(key) = row[col].as_f64() {
+                        tree.remove(&F64Key(key), &tid);
+                    }
+                }
+                SecondaryIndex::Hermit { trs, .. } => {
+                    if let Some(m) = row[col].as_f64() {
+                        trs.delete(m, tid);
+                    }
+                }
+            }
+        }
+        self.heap.delete(loc)?;
+        self.primary.remove(pk);
+        Ok(())
+    }
+
+    /// Create a complete baseline B+-tree index on `col`, bulk-loaded from
+    /// the current table contents. `existing` marks it as a pre-existing
+    /// index for breakdown accounting (host indexes, primary-adjacent
+    /// indexes).
+    pub fn create_baseline_index(
+        &mut self,
+        col: ColumnId,
+        existing: bool,
+    ) -> hermit_storage::Result<()> {
+        // Bulk load: project (key, tid) sorted by key.
+        let mut entries: Vec<(F64Key, Tid)> = Vec::with_capacity(self.heap.len());
+        match &self.heap {
+            Heap::Mem(t) => {
+                let keys = t.column(col)?;
+                let pks = t.column(self.pk_col)?;
+                for loc in t.scan() {
+                    let idx = loc.index();
+                    if let Some(k) = keys.get_f64(idx) {
+                        let pk = pks.get_f64(idx).unwrap_or(0.0) as i64;
+                        entries.push((F64Key(k), self.make_tid(pk, loc)));
+                    }
+                }
+            }
+            Heap::Paged(t) => {
+                for (loc, row) in t.scan()? {
+                    if let Some(k) = row[col].as_f64() {
+                        let pk = row[self.pk_col].as_i64().unwrap_or(0);
+                        entries.push((F64Key(k), self.make_tid(pk, loc)));
+                    }
+                }
+            }
+        }
+        entries.sort_by_key(|a| a.0);
+        let tree = BPlusTree::bulk_load(entries);
+        self.secondary.insert(col, SecondaryIndex::Baseline(tree));
+        if existing && !self.existing.contains(&col) {
+            self.existing.push(col);
+        }
+        Ok(())
+    }
+
+    /// Create a Hermit index on `target` routed through `host`, whose
+    /// baseline index must already exist (the paper's precondition).
+    pub fn create_hermit_index(
+        &mut self,
+        target: ColumnId,
+        host: ColumnId,
+    ) -> hermit_storage::Result<()> {
+        assert!(
+            matches!(self.secondary.get(&host), Some(SecondaryIndex::Baseline(_))),
+            "host column {host} must carry a baseline index before a Hermit index can route to it"
+        );
+        let pairs = self.project_tid_pairs(target, host)?;
+        let range = self
+            .heap
+            .stats(target)?
+            .range()
+            .unwrap_or((0.0, 0.0));
+        let trs = TrsTree::build(self.trs_params, range, pairs);
+        self.secondary.insert(target, SecondaryIndex::Hermit { trs, host });
+        Ok(())
+    }
+
+    /// Multi-threaded variant of [`create_hermit_index`] (Appendix D.2 /
+    /// Fig. 21).
+    pub fn create_hermit_index_parallel(
+        &mut self,
+        target: ColumnId,
+        host: ColumnId,
+        threads: usize,
+    ) -> hermit_storage::Result<()> {
+        let pairs = self.project_tid_pairs(target, host)?;
+        let range = self.heap.stats(target)?.range().unwrap_or((0.0, 0.0));
+        let trs = hermit_trs::build_parallel(self.trs_params, range, pairs, threads);
+        self.secondary.insert(target, SecondaryIndex::Hermit { trs, host });
+        Ok(())
+    }
+
+    /// The paper's index-creation flow (§3): on `CREATE INDEX`, check the
+    /// correlation registry for a qualifying host column that already has
+    /// an index; build a Hermit index if one exists, otherwise fall back to
+    /// a baseline index. Returns `true` if a Hermit index was created.
+    pub fn create_index_auto(
+        &mut self,
+        target: ColumnId,
+        config: &DiscoveryConfig,
+    ) -> hermit_storage::Result<bool> {
+        let hosts: Vec<ColumnId> = self
+            .secondary
+            .iter()
+            .filter(|(_, idx)| !idx.is_hermit())
+            .map(|(&c, _)| c)
+            .collect();
+        let candidates = match &self.heap {
+            Heap::Mem(t) => discover_correlations(t, target, &hosts, config),
+            // Discovery over paged heaps would scan pages; the disk
+            // experiment pre-declares its correlation instead.
+            Heap::Paged(_) => Vec::new(),
+        };
+        if let Some(best) = candidates.first() {
+            self.create_hermit_index(target, best.host)?;
+            Ok(true)
+        } else {
+            self.create_baseline_index(target, false)?;
+            Ok(false)
+        }
+    }
+
+    /// Project `(target, host, tid)` pairs for TRS-Tree construction,
+    /// converting row locations to the database's tid scheme.
+    fn project_tid_pairs(
+        &self,
+        target: ColumnId,
+        host: ColumnId,
+    ) -> hermit_storage::Result<Vec<(f64, f64, Tid)>> {
+        let raw = self.heap.project_pairs(target, host)?;
+        match self.scheme {
+            TidScheme::Physical => {
+                Ok(raw.into_iter().map(|(m, n, loc)| (m, n, Tid::from_loc(loc))).collect())
+            }
+            TidScheme::Logical => {
+                // Need the pk per row; fetch through the heap.
+                let mut out = Vec::with_capacity(raw.len());
+                for (m, n, loc) in raw {
+                    let pk = self
+                        .heap
+                        .value_f64(loc, self.pk_col)?
+                        .unwrap_or(0.0) as i64;
+                    out.push((m, n, Tid::from_pk(pk)));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Memory report split the way the paper's breakdown figures are.
+    pub fn memory_report(&self) -> MemoryReport {
+        let mut report = MemoryReport {
+            table: self.heap.memory_bytes(),
+            existing_indexes: self.primary.memory_bytes(),
+            new_indexes: 0,
+        };
+        for (col, index) in &self.secondary {
+            if self.existing.contains(col) {
+                report.existing_indexes += index.memory_bytes();
+            } else {
+                report.new_indexes += index.memory_bytes();
+            }
+        }
+        report
+    }
+}
+
+/// [`PairSource`] adapter so TRS-Tree reorganization can re-scan a
+/// database's base table for a (target, host) pair.
+pub struct TablePairSource<'a> {
+    /// The database to scan.
+    pub db: &'a Database,
+    /// Target column of the TRS-Tree being reorganized.
+    pub target: ColumnId,
+    /// Host column of the TRS-Tree being reorganized.
+    pub host: ColumnId,
+}
+
+impl PairSource for TablePairSource<'_> {
+    fn scan_range(&self, lb: f64, ub: f64) -> Vec<(f64, f64, Tid)> {
+        let raw = match &self.db.heap {
+            Heap::Mem(t) => t
+                .project_pairs_in_range(self.target, self.host, lb, ub)
+                .unwrap_or_default(),
+            Heap::Paged(t) => t
+                .project_pairs(self.target, self.host)
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|(m, _, _)| *m >= lb && *m <= ub)
+                .collect(),
+        };
+        match self.db.scheme {
+            TidScheme::Physical => {
+                raw.into_iter().map(|(m, n, loc)| (m, n, Tid::from_loc(loc))).collect()
+            }
+            TidScheme::Logical => raw
+                .into_iter()
+                .map(|(m, n, loc)| {
+                    let pk = self
+                        .db
+                        .heap
+                        .value_f64(loc, self.db.pk_col)
+                        .ok()
+                        .flatten()
+                        .unwrap_or(0.0) as i64;
+                    (m, n, Tid::from_pk(pk))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermit_storage::ColumnDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::int("pk"),
+            ColumnDef::float("host"),
+            ColumnDef::float("target"),
+        ])
+    }
+
+    fn populated(scheme: TidScheme, n: usize) -> Database {
+        let mut db = Database::new(schema(), 0, scheme);
+        for i in 0..n {
+            let m = i as f64;
+            db.insert(&[Value::Int(i as i64), Value::Float(2.0 * m), Value::Float(m)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn insert_and_resolve_both_schemes() {
+        for scheme in [TidScheme::Logical, TidScheme::Physical] {
+            let mut db = Database::new(schema(), 0, scheme);
+            let tid = db
+                .insert(&[Value::Int(7), Value::Float(1.0), Value::Float(2.0)])
+                .unwrap();
+            let loc = db.resolve(tid).expect("tid resolves");
+            assert_eq!(db.heap().get(loc).unwrap()[0], Value::Int(7));
+        }
+    }
+
+    #[test]
+    fn baseline_index_builds_and_maintains() {
+        let mut db = populated(TidScheme::Physical, 1_000);
+        db.create_baseline_index(2, false).unwrap();
+        let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
+        assert_eq!(tree.len(), 1_000);
+        // Subsequent inserts maintain it.
+        db.insert(&[Value::Int(5_000), Value::Float(0.0), Value::Float(123.456)])
+            .unwrap();
+        let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
+        assert_eq!(tree.len(), 1_001);
+        assert!(tree.contains_key(&F64Key(123.456)));
+    }
+
+    #[test]
+    fn hermit_index_requires_host() {
+        let mut db = populated(TidScheme::Physical, 100);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            db.create_hermit_index(2, 1).unwrap();
+        }));
+        assert!(result.is_err(), "must panic without a host index");
+    }
+
+    #[test]
+    fn hermit_index_builds_on_host() {
+        let mut db = populated(TidScheme::Physical, 10_000);
+        db.create_baseline_index(1, true).unwrap();
+        db.create_hermit_index(2, 1).unwrap();
+        let idx = db.index(2).unwrap();
+        assert!(idx.is_hermit());
+        assert_eq!(idx.host_column(), Some(1));
+        // The succinct index must be far smaller than the host B+-tree.
+        let host_bytes = db.index(1).unwrap().memory_bytes();
+        assert!(
+            idx.memory_bytes() * 10 < host_bytes,
+            "TRS-Tree ({}) should be ≪ B+-tree ({})",
+            idx.memory_bytes(),
+            host_bytes
+        );
+    }
+
+    #[test]
+    fn auto_index_picks_hermit_when_correlated() {
+        let mut db = populated(TidScheme::Physical, 20_000);
+        db.create_baseline_index(1, true).unwrap();
+        let used_hermit = db.create_index_auto(2, &DiscoveryConfig::default()).unwrap();
+        assert!(used_hermit, "perfectly correlated column must get a Hermit index");
+        assert!(db.index(2).unwrap().is_hermit());
+    }
+
+    #[test]
+    fn auto_index_falls_back_to_baseline() {
+        // Host column is uncorrelated noise.
+        let mut db = Database::new(schema(), 0, TidScheme::Physical);
+        let mut state = 1u64;
+        for i in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (state >> 33) as f64;
+            db.insert(&[Value::Int(i), Value::Float(noise), Value::Float(i as f64)])
+                .unwrap();
+        }
+        db.create_baseline_index(1, true).unwrap();
+        let used_hermit = db.create_index_auto(2, &DiscoveryConfig::default()).unwrap();
+        assert!(!used_hermit, "uncorrelated host must fall back to baseline");
+        assert!(!db.index(2).unwrap().is_hermit());
+    }
+
+    #[test]
+    fn delete_maintains_indexes() {
+        let mut db = populated(TidScheme::Logical, 1_000);
+        db.create_baseline_index(2, false).unwrap();
+        db.delete_by_pk(500).unwrap();
+        assert_eq!(db.len(), 999);
+        let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
+        assert!(!tree.contains_key(&F64Key(500.0)));
+        assert!(db.delete_by_pk(500).is_err(), "double delete");
+    }
+
+    #[test]
+    fn memory_report_separates_new_from_existing() {
+        let mut db = populated(TidScheme::Physical, 5_000);
+        db.create_baseline_index(1, true).unwrap(); // existing (host)
+        db.create_hermit_index(2, 1).unwrap(); // new
+        let report = db.memory_report();
+        assert!(report.table > 0);
+        assert!(report.existing_indexes > 0);
+        assert!(report.new_indexes > 0);
+        assert!(
+            report.new_indexes < report.existing_indexes,
+            "Hermit new-index share must be small: {report:?}"
+        );
+        assert_eq!(
+            report.total(),
+            report.table + report.existing_indexes + report.new_indexes
+        );
+    }
+
+    #[test]
+    fn table_pair_source_scans_ranges() {
+        let db = populated(TidScheme::Physical, 1_000);
+        let src = TablePairSource { db: &db, target: 2, host: 1 };
+        let pairs = src.scan_range(100.0, 110.0);
+        assert_eq!(pairs.len(), 11);
+        assert!(pairs.iter().all(|(m, n, _)| *n == 2.0 * *m));
+    }
+}

@@ -1,0 +1,63 @@
+//! Secondary-index kinds managed by a [`crate::Database`].
+
+use hermit_btree::BPlusTree;
+use hermit_storage::{ColumnId, F64Key, Tid};
+use hermit_trs::TrsTree;
+
+/// A secondary index on one column: either a complete baseline B+-tree or a
+/// succinct Hermit TRS-Tree routed through a host column.
+#[derive(Debug, Clone)]
+pub enum SecondaryIndex {
+    /// Conventional complete index: target value → tid.
+    Baseline(BPlusTree<F64Key, Tid>),
+    /// Hermit index: a TRS-Tree modeling the target→host correlation, plus
+    /// the host column whose baseline index serves the second hop.
+    Hermit {
+        /// The succinct correlation structure.
+        trs: TrsTree,
+        /// Column whose complete index answers the translated ranges.
+        host: ColumnId,
+    },
+}
+
+impl SecondaryIndex {
+    /// True for the Hermit variant.
+    pub fn is_hermit(&self) -> bool {
+        matches!(self, SecondaryIndex::Hermit { .. })
+    }
+
+    /// Host column id for Hermit indexes.
+    pub fn host_column(&self) -> Option<ColumnId> {
+        match self {
+            SecondaryIndex::Hermit { host, .. } => Some(*host),
+            SecondaryIndex::Baseline(_) => None,
+        }
+    }
+
+    /// Heap bytes held by the index structure.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            SecondaryIndex::Baseline(tree) => tree.memory_bytes(),
+            SecondaryIndex::Hermit { trs, .. } => trs.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermit_trs::TrsParams;
+
+    #[test]
+    fn kind_accessors() {
+        let baseline = SecondaryIndex::Baseline(BPlusTree::new());
+        assert!(!baseline.is_hermit());
+        assert_eq!(baseline.host_column(), None);
+
+        let trs = TrsTree::build(TrsParams::default(), (0.0, 1.0), vec![]);
+        let hermit = SecondaryIndex::Hermit { trs, host: 3 };
+        assert!(hermit.is_hermit());
+        assert_eq!(hermit.host_column(), Some(3));
+        assert!(hermit.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hermit-core
+//!
+//! The **Hermit** secondary-indexing mechanism (§3/§5 of the paper), tying
+//! together the storage engine, the B+-tree substrate, and the TRS-Tree.
+//!
+//! A [`Database`] owns one table (in-memory or paged), a primary index, and
+//! a set of secondary indexes. Each secondary index is either:
+//!
+//! * a **baseline** index — a complete B+-tree on the column (what a
+//!   conventional RDBMS builds), or
+//! * a **Hermit** index — a succinct TRS-Tree that routes queries to a
+//!   *host* column's existing baseline index.
+//!
+//! Lookups on a Hermit-indexed column run the paper's three-phase pipeline
+//! (Fig. 3): TRS-Tree search → host-index search (→ optional primary-index
+//! resolution under logical pointers) → base-table validation, with
+//! per-phase wall-clock accounting so the breakdown figures (10/11/14/15/24)
+//! can be regenerated.
+//!
+//! [`correlation`] implements the discovery workflow of Appendix D.1:
+//! screen candidate (target, host) pairs with Pearson/Spearman coefficients
+//! over a sample and recommend a host column whose index already exists.
+
+pub mod breakdown;
+pub mod composite;
+pub mod correlation;
+pub mod database;
+pub mod executor;
+pub mod index;
+
+pub use breakdown::{InsertBreakdown, LookupBreakdown, Phase};
+pub use composite::{CompositeIndex, CompositeIndexes};
+pub use correlation::{discover_correlations, CorrelationReport, DiscoveryConfig};
+pub use database::{Database, Heap, MemoryReport};
+pub use executor::{QueryResult, RangePredicate};
+pub use index::SecondaryIndex;

@@ -1,0 +1,138 @@
+//! Pearson and Spearman correlation coefficients.
+//!
+//! Appendix D.1 of the paper describes the correlation-discovery workflow:
+//! a DBA (or an automated routine) evaluates candidate column pairs with
+//! Pearson (linear correlations, e.g. `y = x`) and Spearman (monotone
+//! correlations, e.g. `y = sigmoid(x)`) coefficients and recommends the
+//! pair to Hermit once a threshold is reached. Non-monotone correlations
+//! (e.g. `y = sin(x)`) score near zero on Spearman and are rejected —
+//! Fig. 25's taxonomy.
+
+/// Pearson product-moment correlation coefficient of two equal-length
+/// slices, computed in one numerically-stable pass.
+///
+/// Returns 0.0 for inputs with fewer than two points or zero variance on
+/// either side (no linear relationship is detectable).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let mut n = 0u64;
+    let mut mean_x = 0.0;
+    let mut mean_y = 0.0;
+    let mut m2_x = 0.0;
+    let mut m2_y = 0.0;
+    let mut co = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        n += 1;
+        let dx = x - mean_x;
+        mean_x += dx / n as f64;
+        let dy = y - mean_y;
+        mean_y += dy / n as f64;
+        m2_x += dx * (x - mean_x);
+        m2_y += dy * (y - mean_y);
+        co += dx * (y - mean_y);
+    }
+    if n < 2 || m2_x <= 0.0 || m2_y <= 0.0 {
+        return 0.0;
+    }
+    co / (m2_x.sqrt() * m2_y.sqrt())
+}
+
+/// Average ranks of a slice, with ties sharing their midrank (the standard
+/// treatment for Spearman's ρ).
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Extend over the tie group [i, j).
+        let mut j = i + 1;
+        while j < order.len() && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; the group shares the midrank.
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = midrank;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient: Pearson over the midranks.
+///
+/// Detects any monotone relationship (ρ = ±1 for strictly monotone data),
+/// which is what qualifies a column pair for TRS-Tree indexing.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigmoid(x: f64) -> f64 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -0.5 * x).collect();
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear() {
+        // Fig 25(b): sigmoid is monotone → Spearman = 1 even though Pearson < 1.
+        let xs: Vec<f64> = (-50..50).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| sigmoid(x)).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 0.999);
+    }
+
+    #[test]
+    fn spearman_rejects_non_monotone() {
+        // Fig 25(c): sin over many whole periods → Spearman ≈ 0.
+        let periods = 25.0;
+        let xs: Vec<f64> =
+            (0..2000).map(|i| i as f64 / 2000.0 * periods * std::f64::consts::TAU).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
+        assert!(spearman(&xs, &ys).abs() < 0.05, "sin should score near 0");
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_midrank() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_all_ties_is_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[2.0, 3.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_symmetry() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).cos()).collect();
+        let ys: Vec<f64> = (0..50).map(|i| (i as f64 * 1.3).sin()).collect();
+        let a = pearson(&xs, &ys);
+        let b = pearson(&ys, &xs);
+        assert!((a - b).abs() < 1e-12);
+        assert!((-1.0..=1.0).contains(&a));
+    }
+}

@@ -1,0 +1,186 @@
+//! Ordinary-least-squares simple linear regression.
+//!
+//! §4.1 of the paper computes each leaf's slope β and intercept α directly
+//! with the closed-form OLS solution (β = cov(M,N)/var(M), α = N̄ − β·M̄)
+//! rather than iterating gradient descent — one pass over the data, no
+//! hyper-parameters. This module is that computation, in a numerically
+//! stable single-pass (Welford-style co-moment) form.
+
+/// A fitted univariate linear model `n = beta * m + alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Slope β.
+    pub beta: f64,
+    /// Intercept α.
+    pub alpha: f64,
+}
+
+impl LinearModel {
+    /// The identity mapping (useful as a neutral default).
+    pub fn identity() -> Self {
+        LinearModel { beta: 1.0, alpha: 0.0 }
+    }
+
+    /// A constant mapping to `c` (β = 0).
+    pub fn constant(c: f64) -> Self {
+        LinearModel { beta: 0.0, alpha: c }
+    }
+
+    /// Fit by OLS from parallel slices. Returns a constant model at the mean
+    /// of `ys` when `xs` has zero variance (including n ≤ 1), matching the
+    /// degenerate-leaf behavior TRS-Tree needs for single-value ranges.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        Self::fit_iter(xs.iter().copied().zip(ys.iter().copied()))
+    }
+
+    /// Fit by OLS from an iterator of `(m, n)` pairs using a single-pass
+    /// co-moment accumulation (numerically stable for large inputs).
+    pub fn fit_iter(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut n = 0u64;
+        let mut mean_x = 0.0f64;
+        let mut mean_y = 0.0f64;
+        let mut m2_x = 0.0f64; // Σ (x - mean_x)^2
+        let mut co = 0.0f64; // Σ (x - mean_x)(y - mean_y)
+        for (x, y) in pairs {
+            n += 1;
+            let dx = x - mean_x;
+            mean_x += dx / n as f64;
+            let dy = y - mean_y;
+            mean_y += dy / n as f64;
+            // Uses the pre-update dx and the post-update mean_y residual.
+            m2_x += dx * (x - mean_x);
+            co += dx * (y - mean_y);
+        }
+        if n == 0 {
+            return LinearModel::constant(0.0);
+        }
+        if m2_x <= 0.0 || !m2_x.is_finite() {
+            return LinearModel::constant(mean_y);
+        }
+        let beta = co / m2_x;
+        let alpha = mean_y - beta * mean_x;
+        LinearModel { beta, alpha }
+    }
+
+    /// Predicted host value for target value `m`.
+    #[inline]
+    pub fn predict(&self, m: f64) -> f64 {
+        self.beta * m + self.alpha
+    }
+
+    /// Absolute residual `|n - predict(m)|`.
+    #[inline]
+    pub fn residual(&self, m: f64, n: f64) -> f64 {
+        (n - self.predict(m)).abs()
+    }
+
+    /// Host-side interval `[β·m + α − eps, β·m + α + eps]` for a single
+    /// target value.
+    #[inline]
+    pub fn band(&self, m: f64, eps: f64) -> (f64, f64) {
+        let c = self.predict(m);
+        (c - eps, c + eps)
+    }
+
+    /// Host-side interval covering the target range `[lb, ub]` with slack
+    /// `eps`, handling negative slopes as §4.3 describes (the returned
+    /// bounds are ordered regardless of β's sign).
+    #[inline]
+    pub fn range_band(&self, lb: f64, ub: f64, eps: f64) -> (f64, f64) {
+        let a = self.predict(lb);
+        let b = self.predict(ub);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        (lo - eps, hi + eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let m = LinearModel::fit(&xs, &ys);
+        assert_close(m.beta, 3.0, 1e-9);
+        assert_close(m.alpha, -7.0, 1e-9);
+        assert_close(m.predict(50.0), 143.0, 1e-9);
+    }
+
+    #[test]
+    fn negative_slope_recovered() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -2.0 * x + 10.0).collect();
+        let m = LinearModel::fit(&xs, &ys);
+        assert_close(m.beta, -2.0, 1e-9);
+        let (lo, hi) = m.range_band(0.0, 10.0, 1.0);
+        // predict(0)=10, predict(10)=-10 → ordered band is [-11, 11].
+        assert_close(lo, -11.0, 1e-9);
+        assert_close(hi, 11.0, 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_approximately_recovered() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.5 * x + 1.0 + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let m = LinearModel::fit(&xs, &ys);
+        assert_close(m.beta, 2.5, 0.01);
+        assert_close(m.alpha, 1.0, 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // Empty → constant 0.
+        let m = LinearModel::fit(&[], &[]);
+        assert_eq!(m, LinearModel::constant(0.0));
+        // Single point → constant at y.
+        let m = LinearModel::fit(&[5.0], &[9.0]);
+        assert_eq!(m.predict(123.0), 9.0);
+        // Zero variance in x → constant at mean(y).
+        let m = LinearModel::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_close(m.predict(0.0), 2.0, 1e-12);
+        assert_eq!(m.beta, 0.0);
+    }
+
+    #[test]
+    fn residual_and_band() {
+        let m = LinearModel { beta: 2.0, alpha: 1.0 };
+        assert_close(m.residual(3.0, 7.0), 0.0, 1e-12);
+        assert_close(m.residual(3.0, 9.5), 2.5, 1e-12);
+        let (lo, hi) = m.band(3.0, 0.5);
+        assert_close(lo, 6.5, 1e-12);
+        assert_close(hi, 7.5, 1e-12);
+    }
+
+    #[test]
+    fn fit_iter_matches_fit() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64).sin() * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 * x - 2.0).collect();
+        let a = LinearModel::fit(&xs, &ys);
+        let b = LinearModel::fit_iter(xs.iter().copied().zip(ys.iter().copied()));
+        assert_close(a.beta, b.beta, 1e-12);
+        assert_close(a.alpha, b.alpha, 1e-12);
+    }
+
+    #[test]
+    fn large_offset_numerically_stable() {
+        // Values with a large common offset defeat naive sum-of-products
+        // formulas; the co-moment form must survive.
+        let xs: Vec<f64> = (0..1000).map(|i| 1e9 + i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x + 3.0).collect();
+        let m = LinearModel::fit(&xs, &ys);
+        assert_close(m.beta, 0.5, 1e-6);
+        assert_close(m.predict(1e9 + 500.0), 0.5 * (1e9 + 500.0) + 3.0, 1e-3);
+    }
+}

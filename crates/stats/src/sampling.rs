@@ -1,0 +1,90 @@
+//! Random-subset sampling helpers.
+//!
+//! Appendix D.2 of the paper introduces a sampling-based outlier estimation:
+//! before fitting a leaf's linear model over all covered tuples, TRS-Tree
+//! first fits on a small random sample (5% by default) and, if the sample's
+//! outlier fraction already exceeds the threshold, splits the node without
+//! paying for the full-range regression.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::{Rng, SeedableRng};
+
+/// Deterministically seeded RNG for reproducible experiments.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draw a uniform random sample of `k` distinct indices from `0..n`
+/// (all of them if `k >= n`), in unspecified order.
+pub fn sample_indices(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    index_sample(rng, n, k).into_vec()
+}
+
+/// Sample a fraction (clamped to `[0, 1]`) of `items`, by reference.
+/// Guarantees at least `min_size` items when the input allows.
+pub fn sample_fraction<'a, T>(
+    rng: &mut impl Rng,
+    items: &'a [T],
+    fraction: f64,
+    min_size: usize,
+) -> Vec<&'a T> {
+    let frac = fraction.clamp(0.0, 1.0);
+    let k = ((items.len() as f64 * frac).ceil() as usize).max(min_size.min(items.len()));
+    sample_indices(rng, items.len(), k)
+        .into_iter()
+        .map(|i| &items[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let mut rng = seeded_rng(42);
+        let idx = sample_indices(&mut rng, 100, 10);
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn oversized_sample_returns_everything() {
+        let mut rng = seeded_rng(1);
+        let idx = sample_indices(&mut rng, 5, 50);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fraction_respects_min_size() {
+        let mut rng = seeded_rng(7);
+        let data: Vec<i32> = (0..1000).collect();
+        let s = sample_fraction(&mut rng, &data, 0.05, 20);
+        assert_eq!(s.len(), 50); // 5% of 1000
+        let s = sample_fraction(&mut rng, &data, 0.001, 20);
+        assert_eq!(s.len(), 20); // min_size kicks in
+    }
+
+    #[test]
+    fn fraction_on_tiny_input() {
+        let mut rng = seeded_rng(7);
+        let data = [1, 2, 3];
+        let s = sample_fraction(&mut rng, &data, 0.5, 10);
+        assert_eq!(s.len(), 3, "min_size is capped at input length");
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let a = sample_indices(&mut seeded_rng(9), 1000, 10);
+        let b = sample_indices(&mut seeded_rng(9), 1000, 10);
+        assert_eq!(a, b);
+    }
+}

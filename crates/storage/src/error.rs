@@ -1,0 +1,85 @@
+//! Error types shared across the storage substrate.
+
+use std::fmt;
+
+/// Errors produced by storage-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column id was out of range for the table's schema.
+    ColumnOutOfRange {
+        /// The offending column id.
+        column: usize,
+        /// Number of columns the schema actually has.
+        width: usize,
+    },
+    /// A row location did not resolve to a live row.
+    RowNotFound {
+        /// Encoded row location that failed to resolve.
+        loc: u64,
+    },
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        /// Column the value was destined for.
+        column: usize,
+        /// Human-readable description of the expected type.
+        expected: &'static str,
+    },
+    /// A NULL was inserted into a non-nullable column.
+    UnexpectedNull {
+        /// Column that rejected the NULL.
+        column: usize,
+    },
+    /// The row had a different arity than the schema.
+    ArityMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of columns expected.
+        expected: usize,
+    },
+    /// A paged-storage operation referenced a page that does not exist.
+    PageNotFound {
+        /// The page id that failed to resolve.
+        page: u64,
+    },
+    /// A slotted page had no room for the requested record.
+    PageFull,
+    /// A record slot was out of range or deleted.
+    SlotNotFound {
+        /// The slot index that failed to resolve.
+        slot: u16,
+    },
+    /// Underlying file I/O failed (paged storage only).
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnOutOfRange { column, width } => {
+                write!(f, "column {column} out of range for schema of width {width}")
+            }
+            StorageError::RowNotFound { loc } => write!(f, "row location {loc:#x} not found"),
+            StorageError::TypeMismatch { column, expected } => {
+                write!(f, "type mismatch on column {column}: expected {expected}")
+            }
+            StorageError::UnexpectedNull { column } => {
+                write!(f, "NULL inserted into non-nullable column {column}")
+            }
+            StorageError::ArityMismatch { got, expected } => {
+                write!(f, "row arity {got} does not match schema width {expected}")
+            }
+            StorageError::PageNotFound { page } => write!(f, "page {page} not found"),
+            StorageError::PageFull => write!(f, "page full"),
+            StorageError::SlotNotFound { slot } => write!(f, "slot {slot} not found"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,130 @@
+//! Table schemas: named, typed, optionally-nullable columns.
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// Index of a column within a table's schema.
+pub type ColumnId = usize;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+}
+
+impl ColumnType {
+    /// Human-readable type name (used in error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ColumnType::Int => "Int",
+            ColumnType::Float => "Float",
+        }
+    }
+}
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name as it would appear in SQL.
+    pub name: String,
+    /// Declared value type.
+    pub ty: ColumnType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable integer column.
+    pub fn int(name: impl Into<String>) -> Self {
+        ColumnDef { name: name.into(), ty: ColumnType::Int, nullable: false }
+    }
+
+    /// A non-nullable float column.
+    pub fn float(name: impl Into<String>) -> Self {
+        ColumnDef { name: name.into(), ty: ColumnType::Float, nullable: false }
+    }
+
+    /// A nullable float column (used by the wide Stock table, where missing
+    /// readings are stored as NULL per Appendix A).
+    pub fn float_null(name: impl Into<String>) -> Self {
+        ColumnDef { name: name.into(), ty: ColumnType::Float, nullable: true }
+    }
+}
+
+/// An ordered collection of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Definition of column `cid`, or an error if out of range.
+    pub fn column(&self, cid: ColumnId) -> Result<&ColumnDef> {
+        self.columns.get(cid).ok_or(StorageError::ColumnOutOfRange {
+            column: cid,
+            width: self.columns.len(),
+        })
+    }
+
+    /// All column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Resolve a column name to its id (linear scan; schemas are tiny).
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnDef::int("time"),
+            ColumnDef::float("dj"),
+            ColumnDef::float_null("sp"),
+        ])
+    }
+
+    #[test]
+    fn width_and_lookup() {
+        let s = sample();
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.column_id("dj"), Some(1));
+        assert_eq!(s.column_id("missing"), None);
+    }
+
+    #[test]
+    fn column_access_and_bounds() {
+        let s = sample();
+        assert_eq!(s.column(0).unwrap().ty, ColumnType::Int);
+        assert!(s.column(2).unwrap().nullable);
+        assert!(matches!(
+            s.column(3),
+            Err(StorageError::ColumnOutOfRange { column: 3, width: 3 })
+        ));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(ColumnType::Int.name(), "Int");
+        assert_eq!(ColumnType::Float.name(), "Float");
+    }
+}

@@ -1,0 +1,89 @@
+//! Incrementally-maintained per-column statistics.
+//!
+//! Algorithm 1 of the paper reads the target column's full value range from
+//! "the RDBMS's optimizer statistics"; this module is that substrate. The
+//! table updates these stats on every insert so that TRS-Tree construction
+//! and correlation discovery can read min/max/count in O(1).
+
+use crate::value::Value;
+
+/// Running min/max/count/null-count for one column.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    min: Option<f64>,
+    max: Option<f64>,
+    non_null: u64,
+    nulls: u64,
+}
+
+impl ColumnStats {
+    /// Fold one appended value into the stats.
+    #[inline]
+    pub fn observe(&mut self, v: &Value) {
+        match v.as_f64() {
+            None => self.nulls += 1,
+            Some(x) => {
+                self.non_null += 1;
+                self.min = Some(self.min.map_or(x, |m| m.min(x)));
+                self.max = Some(self.max.map_or(x, |m| m.max(x)));
+            }
+        }
+    }
+
+    /// Smallest non-null value seen, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest non-null value seen, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// `(min, max)` if at least one non-null value has been observed.
+    ///
+    /// This is what TRS-Tree construction uses as the root range `R`.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        Some((self.min?, self.max?))
+    }
+
+    /// Number of non-null values observed.
+    pub fn non_null_count(&self) -> u64 {
+        self.non_null
+    }
+
+    /// Number of NULLs observed.
+    pub fn null_count(&self) -> u64 {
+        self.nulls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_no_range() {
+        let s = ColumnStats::default();
+        assert_eq!(s.range(), None);
+        assert_eq!(s.non_null_count(), 0);
+    }
+
+    #[test]
+    fn observe_tracks_min_max_and_nulls() {
+        let mut s = ColumnStats::default();
+        for v in [Value::Float(3.0), Value::Null, Value::Float(-1.0), Value::Int(10)] {
+            s.observe(&v);
+        }
+        assert_eq!(s.range(), Some((-1.0, 10.0)));
+        assert_eq!(s.non_null_count(), 3);
+        assert_eq!(s.null_count(), 1);
+    }
+
+    #[test]
+    fn single_value_range_is_degenerate() {
+        let mut s = ColumnStats::default();
+        s.observe(&Value::Float(5.0));
+        assert_eq!(s.range(), Some((5.0, 5.0)));
+    }
+}

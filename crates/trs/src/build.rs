@@ -1,0 +1,590 @@
+//! TRS-Tree construction — Algorithm 1 of the paper.
+//!
+//! Construction is top-down over a FIFO queue of `(node, temporary table)`
+//! pairs. For each node we fit an OLS model over the node's `(m, n)` pairs,
+//! derive ε from `error_bound` (§4.5), and validate: pairs outside the
+//! ε-band are outliers, and when they exceed `outlier_ratio` of the node's
+//! tuples the node is split into `node_fanout` equal-width children (until
+//! `max_height`). Two optimizations from Appendix D.2 are included:
+//!
+//! * **Sampling-based outlier estimation** — fit on a random 5% sample
+//!   first and split immediately if the sample already fails validation.
+//! * **Multi-threaded construction** — the top-down scheme has no cross-node
+//!   dependencies, so sub-problems fan out to worker threads; see
+//!   [`build_parallel`].
+
+use crate::node::{LeafData, Node, NodeId, NodeKind, TrsTree, ValueRange};
+use crate::params::TrsParams;
+use hermit_stats::sampling;
+use hermit_stats::LinearModel;
+use hermit_storage::Tid;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Smallest ε a leaf may carry. A strictly positive floor keeps exact
+/// functional dependencies (ε would be 0) from classifying every point that
+/// suffers floating-point rounding as an outlier.
+const MIN_EPS: f64 = 1e-9;
+
+/// Derive the confidence interval ε from `error_bound` for a node covering
+/// `n` tuples over target range `r` with fitted slope β (§4.5):
+///
+/// `error_bound ≈ 2ε / (β (ub − lb)) · n  ⇒  ε ≈ β (ub − lb) error_bound / 2n`
+///
+/// Degenerate cases (flat slope, zero-width range, empty node) fall back to
+/// the ε floor — the model predicts a constant, so any real spread will
+/// surface as outliers and trigger a split instead.
+pub fn derive_eps(params: &TrsParams, beta: f64, range: &ValueRange, n: usize) -> f64 {
+    if n == 0 {
+        return MIN_EPS;
+    }
+    let eps = beta.abs() * range.width() * params.error_bound / (2.0 * n as f64);
+    eps.max(MIN_EPS)
+}
+
+/// Fit a node's model and partition its pairs into covered / outliers.
+/// Returns `(model, eps, outlier_count)`.
+///
+/// Plain OLS is fragile against extreme outliers: a single wild host value
+/// drags the fit (or, on tiny leaves, explodes β and therefore ε until the
+/// outlier itself is "covered"). We therefore run one *trimmed refit*
+/// round: fit on everything, rank residuals, refit on the best
+/// `1 − outlier_ratio` fraction, and keep whichever model classifies fewer
+/// pairs as outliers. Perfectly-correlated data is untouched (zero
+/// outliers short-circuits).
+fn compute_and_validate(
+    params: &TrsParams,
+    range: &ValueRange,
+    pairs: &[(f64, f64, Tid)],
+) -> (LinearModel, f64, usize) {
+    let model = LinearModel::fit_iter(pairs.iter().map(|(m, n, _)| (*m, *n)));
+    let eps = derive_eps(params, model.beta, range, pairs.len());
+    let outliers = pairs.iter().filter(|(m, n, _)| model.residual(*m, *n) > eps).count();
+    if outliers == 0 || pairs.len() < 4 {
+        return (model, eps, outliers);
+    }
+
+    // Trimmed refit: order by residual under the first model, keep the
+    // best (1 − outlier_ratio) share, refit on those inliers.
+    let keep = ((pairs.len() as f64 * (1.0 - params.outlier_ratio)).ceil() as usize)
+        .clamp(2, pairs.len());
+    let mut by_residual: Vec<&(f64, f64, Tid)> = pairs.iter().collect();
+    by_residual.sort_by(|a, b| model.residual(a.0, a.1).total_cmp(&model.residual(b.0, b.1)));
+    let refit = LinearModel::fit_iter(by_residual[..keep].iter().map(|p| (p.0, p.1)));
+    let refit_eps = derive_eps(params, refit.beta, range, pairs.len());
+    let refit_outliers =
+        pairs.iter().filter(|(m, n, _)| refit.residual(*m, *n) > refit_eps).count();
+
+    if refit_outliers < outliers {
+        (refit, refit_eps, refit_outliers)
+    } else {
+        (model, eps, outliers)
+    }
+}
+
+/// Appendix D.2 pre-check: fit on a sample; `true` means "already failing —
+/// split without the full regression".
+fn sample_says_split(
+    params: &TrsParams,
+    rng: &mut impl Rng,
+    range: &ValueRange,
+    pairs: &[(f64, f64, Tid)],
+    fraction: f64,
+) -> bool {
+    // Tiny nodes are cheaper to fit exactly than to sample.
+    if pairs.len() < 200 {
+        return false;
+    }
+    let sample = sampling::sample_fraction(rng, pairs, fraction, 100);
+    let model = LinearModel::fit_iter(sample.iter().map(|p| (p.0, p.1)));
+    let eps = derive_eps(params, model.beta, range, sample.len());
+    let outliers = sample.iter().filter(|(m, n, _)| model.residual(*m, *n) > eps).count();
+    outliers as f64 > params.outlier_ratio * sample.len() as f64
+}
+
+/// Build a leaf: fit, validate, stash outliers in the buffer.
+///
+/// A leaf only exists here because either validation passed or the node
+/// can split no further (depth cap / too few tuples). In the latter case a
+/// tight ε would classify nearly every tuple as an outlier — e.g. sensor
+/// data whose measurement noise no amount of range splitting removes —
+/// and the "succinct" index would degenerate into a hash copy of the
+/// column. We preserve the paper's invariant that a leaf buffers at most
+/// `outlier_ratio` of its tuples by widening ε to the
+/// `(1 − outlier_ratio)` residual quantile when the derived ε would
+/// overflow the buffer; correctness is unaffected (wider bands mean more
+/// false positives, which base-table validation removes).
+fn make_leaf(
+    params: &TrsParams,
+    kind: crate::OutlierBufferKind,
+    range: ValueRange,
+    pairs: &[(f64, f64, Tid)],
+) -> Node {
+    let (model, mut eps, outliers) = compute_and_validate(params, &range, pairs);
+    if !pairs.is_empty() && outliers as f64 > params.outlier_ratio * pairs.len() as f64 {
+        let mut residuals: Vec<f64> =
+            pairs.iter().map(|(m, n, _)| model.residual(*m, *n)).collect();
+        residuals.sort_by(f64::total_cmp);
+        let keep = (((1.0 - params.outlier_ratio) * pairs.len() as f64).ceil() as usize)
+            .clamp(1, pairs.len());
+        // 1.5× slack over the bulk spread covers the tail of well-behaved
+        // measurement noise (≈98.6% of a Gaussian) while points beyond it —
+        // genuine outliers — still land in the buffer.
+        eps = eps.max(residuals[keep - 1] * 1.5);
+    }
+    let mut leaf = LeafData::new(model, eps, pairs.len(), kind);
+    for (m, n, tid) in pairs {
+        if !leaf.covers(*m, *n) {
+            leaf.outliers.add(*m, *tid);
+        }
+    }
+    Node { range, kind: NodeKind::Leaf(leaf) }
+}
+
+/// A split must shrink the (weighted) median absolute residual of the
+/// children below this fraction of the parent's to proceed. Pure
+/// measurement noise is range-invariant — children fit no better than the
+/// parent — so without this lookahead the tree would split all the way to
+/// `max_height` chasing noise it can never model (and the "succinct" index
+/// would balloon into thousands of useless leaves). Genuine non-linearity
+/// improves quadratically with range width (curvature ∝ w²) and sails past
+/// this bar.
+const SPLIT_IMPROVEMENT_FACTOR: f64 = 0.75;
+
+/// Median absolute residual of `pairs` under `model` (0.0 for empty input).
+/// The median is robust to the extreme outliers that motivate Hermit in
+/// the first place.
+fn median_abs_residual(model: &LinearModel, pairs: &[(f64, f64, Tid)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut residuals: Vec<f64> =
+        pairs.iter().map(|(m, n, _)| model.residual(*m, *n)).collect();
+    residuals.sort_by(f64::total_cmp);
+    residuals[residuals.len() / 2]
+}
+
+/// Decide whether a node over `range` with `pairs` should split.
+fn should_split(
+    params: &TrsParams,
+    rng: &mut impl Rng,
+    depth: usize,
+    range: &ValueRange,
+    pairs: &[(f64, f64, Tid)],
+) -> bool {
+    if depth >= params.max_height || range.width() <= 0.0 {
+        return false;
+    }
+    // A node with fewer pairs than fanout cannot meaningfully split.
+    if pairs.len() <= params.node_fanout {
+        return false;
+    }
+    if let Some(fraction) = params.sampling_fraction {
+        // Appendix D.2 fast path: if even the sample validates, skip the
+        // full fit and keep the node whole.
+        if !sample_says_split(params, rng, range, pairs, fraction) && pairs.len() >= 200 {
+            return false;
+        }
+    }
+    let (model, _, outliers) = compute_and_validate(params, range, pairs);
+    if outliers as f64 <= params.outlier_ratio * pairs.len() as f64 {
+        return false;
+    }
+    // One-level lookahead: fit the would-be children and require a real
+    // residual improvement before paying for the split (see
+    // SPLIT_IMPROVEMENT_FACTOR).
+    let parent_cost = median_abs_residual(&model, pairs);
+    if parent_cost <= 0.0 {
+        return false;
+    }
+    let subs = range.split(params.node_fanout);
+    let buckets = split_table(&subs, range, pairs.to_vec());
+    let mut weighted_child_cost = 0.0;
+    for (sub, bucket) in subs.iter().zip(&buckets) {
+        if bucket.is_empty() {
+            continue;
+        }
+        // Children must be fitted with the same trimmed-robust procedure
+        // as real nodes: with raw OLS, a couple of wild outliers in a
+        // small bucket drag the child fit so badly that the lookahead
+        // wrongly concludes splitting cannot help.
+        let (child_model, _, _) = compute_and_validate(params, sub, bucket);
+        weighted_child_cost +=
+            median_abs_residual(&child_model, bucket) * bucket.len() as f64;
+    }
+    weighted_child_cost / (pairs.len() as f64) < parent_cost * SPLIT_IMPROVEMENT_FACTOR
+}
+
+/// Partition `pairs` into per-child buckets for `subs` (equal-width ranges).
+fn split_table(
+    subs: &[ValueRange],
+    parent: &ValueRange,
+    pairs: Vec<(f64, f64, Tid)>,
+) -> Vec<Vec<(f64, f64, Tid)>> {
+    let k = subs.len();
+    let w = parent.width();
+    let mut buckets: Vec<Vec<(f64, f64, Tid)>> = (0..k).map(|_| Vec::new()).collect();
+    for p in pairs {
+        let idx =
+            (((p.0 - parent.lb) / w * k as f64) as isize).clamp(0, k as isize - 1) as usize;
+        buckets[idx].push(p);
+    }
+    buckets
+}
+
+impl TrsTree {
+    /// Build a TRS-Tree over `(target, host, tid)` pairs covering `range`
+    /// (Algorithm 1). `range` normally comes from optimizer statistics
+    /// ([`hermit_storage::ColumnStats::range`]).
+    pub fn build(params: TrsParams, range: (f64, f64), pairs: Vec<(f64, f64, Tid)>) -> Self {
+        Self::build_with_buffer(params, crate::OutlierBufferKind::default(), range, pairs)
+    }
+
+    /// [`TrsTree::build`] with an explicit outlier-buffer layout.
+    pub fn build_with_buffer(
+        params: TrsParams,
+        buffer_kind: crate::OutlierBufferKind,
+        range: (f64, f64),
+        pairs: Vec<(f64, f64, Tid)>,
+    ) -> Self {
+        params.validate().expect("invalid TrsParams");
+        let root_range = ValueRange::new(range.0, range.1);
+        let mut tree = TrsTree {
+            arena: Vec::new(),
+            root: 0,
+            params,
+            buffer_kind,
+            reorg_queue: VecDeque::new(),
+        };
+        let mut rng = sampling::seeded_rng(params.seed);
+
+        // FIFO work list of (node slot, depth, pairs). Node slots are
+        // pre-allocated so parents can reference children by id before the
+        // children are finalized.
+        tree.arena.push(Node {
+            range: root_range,
+            kind: NodeKind::Leaf(LeafData::new(
+                LinearModel::constant(0.0),
+                MIN_EPS,
+                0,
+                buffer_kind,
+            )),
+        });
+        let mut queue: VecDeque<(NodeId, usize, Vec<(f64, f64, Tid)>)> = VecDeque::new();
+        queue.push_back((0, 1, pairs));
+
+        while let Some((slot, depth, node_pairs)) = queue.pop_front() {
+            let range = tree.arena[slot as usize].range;
+            if should_split(&tree.params, &mut rng, depth, &range, &node_pairs) {
+                let subs = range.split(tree.params.node_fanout);
+                let buckets = split_table(&subs, &range, node_pairs);
+                let mut children = Vec::with_capacity(subs.len());
+                for (sub, bucket) in subs.into_iter().zip(buckets) {
+                    let child = tree.alloc(Node {
+                        range: sub,
+                        kind: NodeKind::Leaf(LeafData::new(
+                            LinearModel::constant(0.0),
+                            MIN_EPS,
+                            0,
+                            buffer_kind,
+                        )),
+                    });
+                    queue.push_back((child, depth + 1, bucket));
+                    children.push(child);
+                }
+                tree.arena[slot as usize].kind = NodeKind::Internal { children };
+            } else {
+                tree.arena[slot as usize] =
+                    make_leaf(&tree.params, buffer_kind, range, &node_pairs);
+            }
+        }
+        tree
+    }
+}
+
+/// Multi-threaded construction (Appendix D.2).
+///
+/// The root split is computed on the calling thread; each first-level
+/// subtree then builds independently on a worker (no synchronization points,
+/// as the appendix observes), and the results are stitched into one arena.
+/// With `threads == 1` this is exactly [`TrsTree::build`].
+pub fn build_parallel(
+    params: TrsParams,
+    range: (f64, f64),
+    pairs: Vec<(f64, f64, Tid)>,
+    threads: usize,
+) -> TrsTree {
+    params.validate().expect("invalid TrsParams");
+    if threads <= 1 {
+        return TrsTree::build(params, range, pairs);
+    }
+    let root_range = ValueRange::new(range.0, range.1);
+    let mut rng = sampling::seeded_rng(params.seed);
+
+    // The root split decision is the only serial fit in the parallel path;
+    // running it over all N pairs would dominate wall-clock (Amdahl) for
+    // exactly the large inputs threading targets. Decide on a 2% sample —
+    // the workers re-fit their subtrees exactly anyway.
+    let root_wants_split = {
+        let sample: Vec<(f64, f64, Tid)> = sampling::sample_fraction(&mut rng, &pairs, 0.02, 2_000)
+            .into_iter()
+            .copied()
+            .collect();
+        should_split(&params, &mut rng, 1, &root_range, &sample)
+    };
+    // If the root doesn't split, there is nothing to parallelize.
+    if !root_wants_split {
+        return TrsTree::build(params, range, pairs);
+    }
+
+    let subs = root_range.split(params.node_fanout);
+    let buckets = split_table(&subs, &root_range, pairs);
+
+    // Build each first-level subtree as its own TrsTree (depth budget is one
+    // shallower), in parallel batches of `threads`.
+    let mut sub_params = params;
+    sub_params.max_height = params.max_height.saturating_sub(1).max(1);
+
+    let mut jobs: Vec<Option<(ValueRange, Vec<(f64, f64, Tid)>)>> =
+        subs.into_iter().zip(buckets).map(Some).collect();
+    let mut subtrees: Vec<Option<TrsTree>> = (0..jobs.len()).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut pending: Vec<usize> = (0..jobs.len()).collect();
+        while !pending.is_empty() {
+            let batch: Vec<usize> = pending.drain(..pending.len().min(threads)).collect();
+            for idx in batch {
+                let (sub, bucket) = jobs[idx].take().expect("job taken once");
+                handles.push((
+                    idx,
+                    scope.spawn(move |_| {
+                        TrsTree::build(sub_params, (sub.lb, sub.ub), bucket)
+                    }),
+                ));
+            }
+            for (idx, h) in handles.drain(..) {
+                subtrees[idx] = Some(h.join().expect("subtree build panicked"));
+            }
+        }
+    })
+    .expect("thread scope");
+
+    // Stitch: new arena with root internal node, then graft each subtree by
+    // offsetting its node ids.
+    let mut tree = TrsTree {
+        arena: Vec::new(),
+        root: 0,
+        params,
+        buffer_kind: crate::OutlierBufferKind::default(),
+        reorg_queue: VecDeque::new(),
+    };
+    tree.arena.push(Node { range: root_range, kind: NodeKind::Internal { children: Vec::new() } });
+    let mut children = Vec::new();
+    for sub in subtrees.into_iter().map(|s| s.expect("built")) {
+        let offset = tree.arena.len() as NodeId;
+        let sub_root = sub.root;
+        for mut node in sub.arena {
+            if let NodeKind::Internal { children } = &mut node.kind {
+                for c in children.iter_mut() {
+                    *c += offset;
+                }
+            }
+            tree.arena.push(node);
+        }
+        children.push(offset + sub_root);
+    }
+    let NodeKind::Internal { children: root_children } = &mut tree.arena[0].kind else {
+        unreachable!()
+    };
+    *root_children = children;
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn linear_pairs(n: usize) -> Vec<(f64, f64, Tid)> {
+        (0..n)
+            .map(|i| {
+                let m = i as f64;
+                (m, 3.0 * m + 5.0, Tid(i as u64))
+            })
+            .collect()
+    }
+
+    fn sigmoid_pairs(n: usize) -> Vec<(f64, f64, Tid)> {
+        (0..n)
+            .map(|i| {
+                let m = i as f64 / n as f64 * 20.0 - 10.0;
+                (m, 1000.0 / (1.0 + (-m).exp()), Tid(i as u64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_linear_correlation_yields_single_leaf() {
+        let pairs = linear_pairs(10_000);
+        let tree = TrsTree::build(TrsParams::default(), (0.0, 9_999.0), pairs);
+        let stats = tree.stats();
+        // §7.3: "TRS-Tree only needs to use a single leaf node to model the
+        // [linear] correlation function".
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.internals, 0);
+        assert_eq!(stats.outliers, 0);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sigmoid_splits_into_multiple_leaves() {
+        let pairs = sigmoid_pairs(50_000);
+        let tree = TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs);
+        let stats = tree.stats();
+        assert!(stats.leaves > 1, "sigmoid needs tiered fitting, got {stats:?}");
+        assert!(stats.height > 1);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn max_height_one_never_splits() {
+        let pairs = sigmoid_pairs(20_000);
+        let params = TrsParams { max_height: 1, ..Default::default() };
+        let tree = TrsTree::build(params, (-10.0, 10.0), pairs);
+        let stats = tree.stats();
+        assert_eq!(stats.leaves, 1, "§6: max_height=1 is a single-node structure");
+        assert_eq!(stats.height, 1);
+    }
+
+    #[test]
+    fn noisy_data_lands_in_outlier_buffers() {
+        let mut pairs = linear_pairs(10_000);
+        // 2% of tuples get wildly wrong host values.
+        for i in (0..pairs.len()).step_by(50) {
+            pairs[i].1 += 1.0e6;
+        }
+        let tree = TrsTree::build(TrsParams::default(), (0.0, 9_999.0), pairs);
+        let stats = tree.stats();
+        assert!(
+            stats.outliers >= 150,
+            "noise should be buffered as outliers, got {}",
+            stats.outliers
+        );
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let tree = TrsTree::build(TrsParams::default(), (0.0, 100.0), vec![]);
+        assert_eq!(tree.stats().leaves, 1);
+        let tree = TrsTree::build(
+            TrsParams::default(),
+            (0.0, 100.0),
+            vec![(1.0, 2.0, Tid(0)), (2.0, 4.0, Tid(1))],
+        );
+        assert_eq!(tree.stats().leaves, 1);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degenerate_single_value_range() {
+        let pairs: Vec<_> = (0..100).map(|i| (5.0, 10.0, Tid(i))).collect();
+        let tree = TrsTree::build(TrsParams::default(), (5.0, 5.0), pairs);
+        assert_eq!(tree.stats().leaves, 1);
+        // The constant model should cover everything: no outliers.
+        assert_eq!(tree.stats().outliers, 0);
+    }
+
+    #[test]
+    fn eps_formula_matches_section_4_5() {
+        let params = TrsParams::with_error_bound(2.0);
+        let range = ValueRange::new(0.0, 100.0);
+        // β = 2, n = 1000: ε = 2·100·2 / (2·1000) = 0.2
+        let eps = derive_eps(&params, 2.0, &range, 1000);
+        assert!((eps - 0.2).abs() < 1e-12, "eps = {eps}");
+        // error_bound = 0 collapses to the floor.
+        let p0 = TrsParams::with_error_bound(0.0);
+        assert_eq!(derive_eps(&p0, 2.0, &range, 1000), MIN_EPS);
+    }
+
+    #[test]
+    fn larger_error_bound_means_fewer_nodes() {
+        let small = TrsTree::build(
+            TrsParams::with_error_bound(1.0),
+            (-10.0, 10.0),
+            sigmoid_pairs(30_000),
+        );
+        let large = TrsTree::build(
+            TrsParams::with_error_bound(1000.0),
+            (-10.0, 10.0),
+            sigmoid_pairs(30_000),
+        );
+        assert!(
+            large.stats().leaves <= small.stats().leaves,
+            "Fig 18: larger error_bound covers more data with fewer nodes ({} vs {})",
+            large.stats().leaves,
+            small.stats().leaves
+        );
+    }
+
+    #[test]
+    fn sampling_precheck_produces_equivalent_quality() {
+        let pairs = sigmoid_pairs(40_000);
+        let plain = TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs.clone());
+        let sampled =
+            TrsTree::build(TrsParams::default().with_sampling(), (-10.0, 10.0), pairs);
+        // Both must model the curve; sampling may split slightly more
+        // eagerly but the structures should be the same order of size.
+        let (a, b) = (plain.stats(), sampled.stats());
+        assert!(b.leaves >= a.leaves / 4 && b.leaves <= a.leaves * 4,
+            "sampled build diverged: {a:?} vs {b:?}");
+        sampled.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_build_equivalent_to_serial() {
+        let pairs = sigmoid_pairs(30_000);
+        let serial = TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs.clone());
+        for threads in [2, 4, 8] {
+            let par = build_parallel(TrsParams::default(), (-10.0, 10.0), pairs.clone(), threads);
+            par.check_invariants().unwrap();
+            // Same lookup behavior on a probe grid.
+            for i in 0..40 {
+                let m = -10.0 + i as f64 * 0.5;
+                let s = serial.lookup_point(m);
+                let p = par.lookup_point(m);
+                assert_eq!(s.ranges.len(), p.ranges.len(), "probe {m} with {threads} threads");
+                for (rs, rp) in s.ranges.iter().zip(&p.ranges) {
+                    assert!((rs.0 - rp.0).abs() < 1e-6 && (rs.1 - rp.1).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_single_leaf_case() {
+        // Root that never splits: parallel must fall back gracefully.
+        let pairs = linear_pairs(5_000);
+        let par = build_parallel(TrsParams::default(), (0.0, 4_999.0), pairs, 4);
+        assert_eq!(par.stats().leaves, 1);
+    }
+
+    #[test]
+    fn traverse_reaches_covering_leaf() {
+        let tree = TrsTree::build(TrsParams::default(), (-10.0, 10.0), sigmoid_pairs(30_000));
+        for i in 0..100 {
+            let m = -10.0 + i as f64 * 0.2;
+            let leaf = tree.node(tree.traverse(m));
+            assert!(leaf.is_leaf());
+            assert!(
+                leaf.range.contains(m) || (m == leaf.range.ub) || (m == leaf.range.lb),
+                "leaf range {:?} does not contain {m}",
+                leaf.range
+            );
+        }
+        // Out-of-range values clamp to edge leaves.
+        assert!(tree.node(tree.traverse(-999.0)).is_leaf());
+        assert!(tree.node(tree.traverse(999.0)).is_leaf());
+    }
+}

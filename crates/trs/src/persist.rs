@@ -1,0 +1,407 @@
+//! TRS-Tree persistence (§6 "Fault tolerance").
+//!
+//! The paper notes the RDBMS must periodically persist the TRS-Tree —
+//! either like a disk index (leaf pages on disk) or like a pure in-memory
+//! index that checkpoints and relies on write-ahead logging. This module
+//! implements the checkpoint path: a compact, versioned binary snapshot of
+//! the whole tree (models, ε values, outlier buffers, parameters) plus
+//! restore. A snapshot of a TRS-Tree is small by construction — that is
+//! the point of the structure — so checkpointing it wholesale is cheap,
+//! unlike checkpointing a B+-tree.
+//!
+//! Format (little-endian throughout):
+//!
+//! ```text
+//! magic "TRST" | version u32 | params | buffer_kind u8 | root u32 |
+//! node_count u32 | nodes...
+//! node := range(lb f64, ub f64) | tag u8 |
+//!         tag 0 (internal): child_count u32, children u32...
+//!         tag 1 (leaf):     beta f64, alpha f64, eps f64, covered u64,
+//!                           deletes u64, outlier_count u32,
+//!                           (m f64, tid u64)...
+//! ```
+
+use crate::node::{LeafData, Node, NodeKind, OutlierBufferKind, TrsTree, ValueRange};
+use crate::params::TrsParams;
+use hermit_stats::LinearModel;
+use hermit_storage::Tid;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"TRST";
+const VERSION: u32 = 1;
+
+/// Errors produced by snapshot encode/decode.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a TRS-Tree snapshot.
+    BadMagic,
+    /// Snapshot version not understood by this build.
+    UnsupportedVersion(u32),
+    /// Structurally invalid snapshot (truncated, bad tags, bad ids).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a TRS-Tree snapshot"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+struct Writer<W: Write> {
+    out: W,
+}
+
+impl<W: Write> Writer<W> {
+    fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.out.write_all(&[v])
+    }
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.out.write_all(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.out.write_all(&v.to_le_bytes())
+    }
+    fn f64(&mut self, v: f64) -> io::Result<()> {
+        self.out.write_all(&v.to_le_bytes())
+    }
+}
+
+struct Reader<R: Read> {
+    inp: R,
+}
+
+impl<R: Read> Reader<R> {
+    fn u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.inp.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.inp.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.inp.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        self.inp.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+}
+
+impl TrsTree {
+    /// Serialize a checkpoint of the tree into `out`.
+    ///
+    /// The tree is compacted first (garbage from past reorganizations is
+    /// not persisted); the method therefore takes `&mut self`.
+    pub fn snapshot_to(&mut self, out: impl Write) -> Result<(), PersistError> {
+        self.compact();
+        let mut w = Writer { out };
+        w.out.write_all(MAGIC)?;
+        w.u32(VERSION)?;
+        // Params.
+        w.u32(self.params.node_fanout as u32)?;
+        w.u32(self.params.max_height as u32)?;
+        w.f64(self.params.outlier_ratio)?;
+        w.f64(self.params.error_bound)?;
+        w.f64(self.params.sampling_fraction.unwrap_or(-1.0))?;
+        w.f64(self.params.split_trigger_ratio)?;
+        w.f64(self.params.merge_trigger_ratio)?;
+        w.u64(self.params.seed)?;
+        w.u8(match self.buffer_kind {
+            OutlierBufferKind::Hash => 0,
+            OutlierBufferKind::SortedVec => 1,
+        })?;
+        w.u32(self.root)?;
+        w.u32(self.arena.len() as u32)?;
+        for node in &self.arena {
+            w.f64(node.range.lb)?;
+            w.f64(node.range.ub)?;
+            match &node.kind {
+                NodeKind::Internal { children } => {
+                    w.u8(0)?;
+                    w.u32(children.len() as u32)?;
+                    for c in children {
+                        w.u32(*c)?;
+                    }
+                }
+                NodeKind::Leaf(leaf) => {
+                    w.u8(1)?;
+                    w.f64(leaf.model.beta)?;
+                    w.f64(leaf.model.alpha)?;
+                    w.f64(leaf.eps)?;
+                    w.u64(leaf.covered as u64)?;
+                    w.u64(leaf.deletes as u64)?;
+                    // Collect outliers in a layout-independent order.
+                    let mut entries: Vec<(f64, Tid)> = Vec::with_capacity(leaf.outliers.len());
+                    leaf.outliers.for_each_entry(|m, tid| entries.push((m, tid)));
+                    w.u32(entries.len() as u32)?;
+                    for (m, tid) in entries {
+                        w.f64(m)?;
+                        w.u64(tid.0)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize a checkpoint into a byte vector.
+    pub fn snapshot_bytes(&mut self) -> Result<Vec<u8>, PersistError> {
+        let mut buf = Vec::new();
+        self.snapshot_to(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Restore a tree from a checkpoint produced by [`snapshot_to`].
+    ///
+    /// [`snapshot_to`]: TrsTree::snapshot_to
+    pub fn restore_from(inp: impl Read) -> Result<TrsTree, PersistError> {
+        let mut r = Reader { inp };
+        let mut magic = [0u8; 4];
+        r.inp.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let node_fanout = r.u32()? as usize;
+        let max_height = r.u32()? as usize;
+        let outlier_ratio = r.f64()?;
+        let error_bound = r.f64()?;
+        let sampling_raw = r.f64()?;
+        let split_trigger_ratio = r.f64()?;
+        let merge_trigger_ratio = r.f64()?;
+        let seed = r.u64()?;
+        let params = TrsParams {
+            node_fanout,
+            max_height,
+            outlier_ratio,
+            error_bound,
+            sampling_fraction: (sampling_raw >= 0.0).then_some(sampling_raw),
+            split_trigger_ratio,
+            merge_trigger_ratio,
+            seed,
+        };
+        params.validate().map_err(|_| PersistError::Corrupt("invalid params"))?;
+        let buffer_kind = match r.u8()? {
+            0 => OutlierBufferKind::Hash,
+            1 => OutlierBufferKind::SortedVec,
+            _ => return Err(PersistError::Corrupt("bad buffer kind")),
+        };
+        let root = r.u32()?;
+        let count = r.u32()? as usize;
+        if count == 0 || root as usize >= count {
+            return Err(PersistError::Corrupt("bad root/node count"));
+        }
+        let mut arena = Vec::with_capacity(count);
+        for _ in 0..count {
+            let lb = r.f64()?;
+            let ub = r.f64()?;
+            if !(lb <= ub) {
+                return Err(PersistError::Corrupt("inverted node range"));
+            }
+            let range = ValueRange::new(lb, ub);
+            let kind = match r.u8()? {
+                0 => {
+                    let n = r.u32()? as usize;
+                    if !(2..=1 << 20).contains(&n) {
+                        return Err(PersistError::Corrupt("bad child count"));
+                    }
+                    let mut children = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let c = r.u32()?;
+                        if c as usize >= count {
+                            return Err(PersistError::Corrupt("child id out of range"));
+                        }
+                        children.push(c);
+                    }
+                    NodeKind::Internal { children }
+                }
+                1 => {
+                    let beta = r.f64()?;
+                    let alpha = r.f64()?;
+                    let eps = r.f64()?;
+                    if eps < 0.0 {
+                        return Err(PersistError::Corrupt("negative eps"));
+                    }
+                    let covered = r.u64()? as usize;
+                    let deletes = r.u64()? as usize;
+                    let n = r.u32()? as usize;
+                    let mut leaf =
+                        LeafData::new(LinearModel { beta, alpha }, eps, covered, buffer_kind);
+                    leaf.deletes = deletes;
+                    for _ in 0..n {
+                        let m = r.f64()?;
+                        let tid = Tid(r.u64()?);
+                        leaf.outliers.add(m, tid);
+                    }
+                    NodeKind::Leaf(leaf)
+                }
+                _ => return Err(PersistError::Corrupt("bad node tag")),
+            };
+            arena.push(Node { range, kind });
+        }
+        let tree = TrsTree { arena, root, params, buffer_kind, reorg_queue: VecDeque::new() };
+        tree.check_invariants().map_err(|_| PersistError::Corrupt("invariant violation"))?;
+        Ok(tree)
+    }
+
+    /// Checkpoint to a file (atomic: write to a temp sibling, then rename).
+    pub fn checkpoint(&mut self, path: &std::path::Path) -> Result<(), PersistError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut buf = std::io::BufWriter::new(file);
+            self.snapshot_to(&mut buf)?;
+            buf.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Restore from a checkpoint file.
+    pub fn restore(path: &std::path::Path) -> Result<TrsTree, PersistError> {
+        let file = std::fs::File::open(path)?;
+        Self::restore_from(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrsParams;
+
+    /// Structural equality modulo memory accounting (vector capacities
+    /// differ between bulk construction and incremental restore).
+    fn assert_stats_match(a: &TrsTree, b: &TrsTree) {
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(sa.leaves, sb.leaves);
+        assert_eq!(sa.internals, sb.internals);
+        assert_eq!(sa.height, sb.height);
+        assert_eq!(sa.outliers, sb.outliers);
+    }
+
+    fn sample_tree(n: usize) -> TrsTree {
+        let pairs: Vec<(f64, f64, Tid)> = (0..n)
+            .map(|i| {
+                let m = i as f64 / n as f64 * 20.0 - 10.0;
+                let v = if i % 97 == 0 { 5.0e8 } else { 1000.0 / (1.0 + (-m).exp()) };
+                (m, v, Tid(i as u64))
+            })
+            .collect();
+        TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_lookups() {
+        let mut tree = sample_tree(30_000);
+        let bytes = tree.snapshot_bytes().unwrap();
+        let restored = TrsTree::restore_from(bytes.as_slice()).unwrap();
+        assert_stats_match(&tree, &restored);
+        for i in 0..100 {
+            let m = -10.0 + i as f64 * 0.2;
+            let a = tree.lookup(m, m + 0.3);
+            let b = restored.lookup(m, m + 0.3);
+            assert_eq!(a.ranges, b.ranges, "ranges diverged at m={m}");
+            let mut at = a.tids.clone();
+            let mut bt = b.tids.clone();
+            at.sort();
+            bt.sort();
+            assert_eq!(at, bt, "tids diverged at m={m}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_params_and_buffer_kind() {
+        let params = TrsParams {
+            node_fanout: 4,
+            max_height: 6,
+            error_bound: 7.5,
+            sampling_fraction: Some(0.1),
+            ..Default::default()
+        };
+        let pairs = (0..5_000).map(|i| (i as f64, 3.0 * i as f64, Tid(i))).collect();
+        let mut tree =
+            TrsTree::build_with_buffer(params, OutlierBufferKind::Hash, (0.0, 5_000.0), pairs);
+        let bytes = tree.snapshot_bytes().unwrap();
+        let restored = TrsTree::restore_from(bytes.as_slice()).unwrap();
+        assert_eq!(*restored.params(), params);
+    }
+
+    #[test]
+    fn restored_tree_supports_maintenance() {
+        let mut tree = sample_tree(10_000);
+        let bytes = tree.snapshot_bytes().unwrap();
+        let mut restored = TrsTree::restore_from(bytes.as_slice()).unwrap();
+        restored.insert(0.0, 9.0e9, Tid(777_777));
+        assert!(restored.lookup_point(0.0).tids.contains(&Tid(777_777)));
+        assert!(restored.delete(0.0, Tid(777_777)));
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(matches!(
+            TrsTree::restore_from(&b"NOPE"[..]),
+            Err(PersistError::BadMagic) | Err(PersistError::Io(_))
+        ));
+        let mut tree = sample_tree(1_000);
+        let mut bytes = tree.snapshot_bytes().unwrap();
+        // Bad version.
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            TrsTree::restore_from(bytes.as_slice()),
+            Err(PersistError::UnsupportedVersion(_))
+        ));
+        // Truncation.
+        let bytes = tree.snapshot_bytes().unwrap();
+        assert!(TrsTree::restore_from(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hermit-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.trst");
+        let mut tree = sample_tree(8_000);
+        tree.checkpoint(&path).unwrap();
+        let restored = TrsTree::restore(&path).unwrap();
+        assert_stats_match(&tree, &restored);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_is_small() {
+        // The point of §6: checkpointing a TRS-Tree is cheap because the
+        // structure is succinct. 30k tuples → a snapshot in the KBs.
+        let mut tree = sample_tree(30_000);
+        let bytes = tree.snapshot_bytes().unwrap();
+        assert!(
+            bytes.len() < 64 * 1024,
+            "snapshot should be tiny, got {} bytes",
+            bytes.len()
+        );
+    }
+}

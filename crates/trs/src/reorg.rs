@@ -1,0 +1,362 @@
+//! Structure reorganization (§4.4 of the paper).
+//!
+//! Reorganization re-optimizes the tree against the *current* data: the
+//! worker re-scans the affected target range from a [`PairSource`] (the
+//! base table), rebuilds that subtree with the normal construction
+//! algorithm, and installs the new nodes in place. Two flavors:
+//!
+//! * **Split** — a leaf whose outlier buffer grew past the trigger is
+//!   rebuilt; construction will split it as deeply as the data demands.
+//! * **Merge** — a subtree that suffered heavy deletion is rebuilt from its
+//!   root; if the surviving data fits one model, the subtree collapses back
+//!   to a single leaf.
+//!
+//! Batch reorganization processes several queued candidates in one pass
+//! (the paper's background thread reorganizes "several candidate nodes in
+//! one scan").
+
+use crate::maintain::{ReorgCandidate, ReorgKind};
+use crate::node::{NodeId, NodeKind, TrsTree};
+use crate::PairSource;
+
+/// Outcome counters for a reorganization pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorgReport {
+    /// Leaf splits executed.
+    pub splits: usize,
+    /// Subtree merges executed.
+    pub merges: usize,
+    /// Candidates skipped (stale node ids, already-reorganized ranges).
+    pub skipped: usize,
+}
+
+impl TrsTree {
+    /// Rebuild the subtree rooted at `node` from fresh base-table data.
+    ///
+    /// This is the shared implementation of split and merge: construction
+    /// itself decides the right shape for the new data. The node id is
+    /// preserved (the new subtree is grafted into the same slot), so
+    /// parents need no update. Returns the number of leaves in the new
+    /// subtree.
+    pub fn reorganize_node(&mut self, node: NodeId, source: &dyn PairSource) -> usize {
+        let range = self.node(node).range;
+        let pairs = source.scan_range(range.lb, range.ub);
+
+        // Depth budget for the rebuilt subtree: the node keeps its depth,
+        // so it may grow up to max_height - depth + 1 levels below itself.
+        let depth = self.depth_of(node);
+        let mut sub_params = self.params;
+        sub_params.max_height = (self.params.max_height + 1).saturating_sub(depth).max(1);
+
+        let sub = TrsTree::build_with_buffer(
+            sub_params,
+            self.buffer_kind,
+            (range.lb, range.ub),
+            pairs,
+        );
+        let leaves = sub.stats().leaves;
+
+        // Graft: copy the sub-arena in, fixing child ids, then overwrite
+        // the old slot with the sub-root. Old subtree nodes become garbage
+        // in the arena; `compact` reclaims them.
+        let offset = self.arena.len() as NodeId;
+        let sub_root_local = sub.root;
+        for mut n in sub.arena {
+            if let NodeKind::Internal { children } = &mut n.kind {
+                for c in children.iter_mut() {
+                    *c += offset;
+                }
+            }
+            self.arena.push(n);
+        }
+        let sub_root = offset + sub_root_local;
+        self.arena.swap(node as usize, sub_root as usize);
+        // If the grafted root was internal, its children ids are still
+        // valid after the swap (they point into the appended region).
+        leaves
+    }
+
+    fn depth_of(&self, node: NodeId) -> usize {
+        // Walk from the root toward the node's range midpoint, counting
+        // levels until we hit it. Falls back to 1 for stale ids.
+        let target = self.node(node).range;
+        let probe = (target.lb + target.ub) / 2.0;
+        let mut id = self.root;
+        let mut depth = 1;
+        loop {
+            if id == node {
+                return depth;
+            }
+            match &self.node(id).kind {
+                NodeKind::Leaf(_) => return depth,
+                NodeKind::Internal { children } => {
+                    let n = self.node(id);
+                    let k = children.len();
+                    let w = n.range.width();
+                    let idx = if w <= 0.0 {
+                        0
+                    } else {
+                        (((probe - n.range.lb) / w * k as f64) as isize)
+                            .clamp(0, k as isize - 1) as usize
+                    };
+                    id = children[idx];
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Process up to `limit` queued candidates against `source`
+    /// (batch reorganization, §4.4).
+    pub fn reorganize_batch(&mut self, source: &dyn PairSource, limit: usize) -> ReorgReport {
+        let mut report = ReorgReport::default();
+        for _ in 0..limit {
+            let Some(cand) = self.next_reorg_candidate() else { break };
+            if !self.candidate_still_valid(&cand) {
+                report.skipped += 1;
+                continue;
+            }
+            self.reorganize_node(cand.node, source);
+            match cand.kind {
+                ReorgKind::Split => report.splits += 1,
+                ReorgKind::Merge => report.merges += 1,
+            }
+        }
+        report
+    }
+
+    /// A candidate is stale when the node id no longer matches its queued
+    /// role (e.g. the leaf was already rebuilt into an internal node).
+    fn candidate_still_valid(&self, cand: &ReorgCandidate) -> bool {
+        if cand.node as usize >= self.arena.len() {
+            return false;
+        }
+        match cand.kind {
+            ReorgKind::Split => self.node(cand.node).is_leaf(),
+            ReorgKind::Merge => !self.node(cand.node).is_leaf(),
+        }
+    }
+
+    /// Rebuild the entire tree from fresh data — the "reorganize entire
+    /// subtree at once" response to drastic workload change (§4.4 / §7.7
+    /// reorganizes first-level subtrees; rebuilding from the root is the
+    /// limit case and also compacts the arena).
+    pub fn rebuild(&mut self, source: &dyn PairSource) {
+        let range = self.node(self.root).range;
+        let pairs = source.scan_range(range.lb, range.ub);
+        let fresh = TrsTree::build_with_buffer(
+            self.params,
+            self.buffer_kind,
+            (range.lb, range.ub),
+            pairs,
+        );
+        self.arena = fresh.arena;
+        self.root = fresh.root;
+        self.reorg_queue.clear();
+    }
+
+    /// Rebuild the `i`-th first-level subtree (used by the §7.7 trace,
+    /// which reorganizes 1/4 of the structure every 5 seconds). Returns
+    /// false if the root is a leaf (nothing to partially reorganize).
+    pub fn reorganize_first_level_subtree(&mut self, i: usize, source: &dyn PairSource) -> bool {
+        let child = {
+            let NodeKind::Internal { children } = &self.node(self.root).kind else {
+                return false;
+            };
+            if children.is_empty() {
+                return false;
+            }
+            children[i % children.len()]
+        };
+        self.reorganize_node(child, source);
+        true
+    }
+
+    /// Compact the arena after reorganizations left garbage nodes behind:
+    /// rebuilds the arena containing only nodes reachable from the root.
+    /// Memory accounting calls this implicitly via [`Self::compacted_memory_bytes`].
+    pub fn compact(&mut self) {
+        let mut new_arena = Vec::with_capacity(self.arena.len());
+        let root = self.root;
+        let new_root = self.copy_reachable(root, &mut new_arena);
+        self.arena = new_arena;
+        self.root = new_root;
+    }
+
+    fn copy_reachable(&self, id: NodeId, out: &mut Vec<crate::node::Node>) -> NodeId {
+        let node = self.node(id).clone();
+        match node.kind {
+            NodeKind::Leaf(_) => {
+                out.push(node);
+                (out.len() - 1) as NodeId
+            }
+            NodeKind::Internal { children } => {
+                let new_children: Vec<NodeId> =
+                    children.iter().map(|&c| self.copy_reachable(c, out)).collect();
+                out.push(crate::node::Node {
+                    range: node.range,
+                    kind: NodeKind::Internal { children: new_children },
+                });
+                (out.len() - 1) as NodeId
+            }
+        }
+    }
+
+    /// Memory after compaction — what a long-running instance would report
+    /// once garbage from past reorganizations is reclaimed.
+    pub fn compacted_memory_bytes(&mut self) -> usize {
+        self.compact();
+        self.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TrsParams;
+    use crate::VecPairSource;
+    use hermit_storage::Tid;
+
+    fn sigmoid_pairs(n: usize) -> Vec<(f64, f64, Tid)> {
+        (0..n)
+            .map(|i| {
+                let m = i as f64 / n as f64 * 20.0 - 10.0;
+                (m, 1000.0 / (1.0 + (-m).exp()), Tid(i as u64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_reorg_absorbs_outlier_flood() {
+        // Start with a linear tree, then shift the data distribution in one
+        // region so the old model no longer fits.
+        let mut pairs: Vec<(f64, f64, Tid)> =
+            (0..10_000).map(|i| (i as f64, i as f64, Tid(i as u64))).collect();
+        let mut tree = TrsTree::build(TrsParams::default(), (0.0, 9_999.0), pairs.clone());
+        assert_eq!(tree.stats().leaves, 1);
+
+        // New regime: values in [3000, 7000] now map to 3m + 500.
+        for p in pairs.iter_mut() {
+            if p.0 >= 3_000.0 && p.0 <= 7_000.0 {
+                p.1 = 3.0 * p.0 + 500.0;
+            }
+        }
+        for p in &pairs {
+            if p.0 >= 3_000.0 && p.0 <= 7_000.0 {
+                tree.insert(p.0, p.1, p.2);
+            }
+        }
+        let outliers_before = tree.stats().outliers;
+        assert!(outliers_before > 1_000, "regime change should flood buffers");
+        assert!(tree.reorg_queue_len() > 0);
+
+        let source = VecPairSource(pairs);
+        let report = tree.reorganize_batch(&source, 10);
+        assert!(report.splits >= 1);
+        tree.compact();
+        tree.check_invariants().unwrap();
+        let outliers_after = tree.stats().outliers;
+        assert!(
+            outliers_after < outliers_before / 5,
+            "reorg should drain buffers: {outliers_before} -> {outliers_after}"
+        );
+        // Lookups still correct under the new regime.
+        let r = tree.lookup_point(5_000.0);
+        let truth = 3.0 * 5_000.0 + 500.0;
+        let covered = r.ranges.iter().any(|(lo, hi)| truth >= *lo && truth <= *hi)
+            || r.tids.contains(&Tid(5_000));
+        assert!(covered, "post-reorg lookup lost the tuple");
+    }
+
+    #[test]
+    fn merge_reorg_shrinks_tree_after_deletes() {
+        let pairs = sigmoid_pairs(40_000);
+        let mut tree = TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs.clone());
+        let leaves_before = tree.stats().leaves;
+        assert!(leaves_before > 2);
+
+        // Delete the steep middle of the sigmoid; the survivors are the
+        // two flat tails, which fit far fewer models.
+        let surviving: Vec<(f64, f64, Tid)> =
+            pairs.iter().copied().filter(|(m, _, _)| *m < -3.0 || *m > 3.0).collect();
+        for (m, _, tid) in pairs.iter().filter(|(m, _, _)| *m >= -3.0 && *m <= 3.0) {
+            tree.delete(*m, *tid);
+        }
+        let source = VecPairSource(surviving);
+        tree.reorganize_batch(&source, 64);
+        tree.compact();
+        tree.check_invariants().unwrap();
+        assert!(
+            tree.stats().leaves < leaves_before,
+            "merge should shrink: {} -> {}",
+            leaves_before,
+            tree.stats().leaves
+        );
+    }
+
+    #[test]
+    fn full_rebuild_resets_structure() {
+        let pairs = sigmoid_pairs(30_000);
+        let mut tree = TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs.clone());
+        for i in 0..5_000u64 {
+            tree.insert(0.0, 1.0e9, Tid(100_000 + i));
+        }
+        assert!(tree.stats().outliers >= 5_000);
+        tree.rebuild(&VecPairSource(pairs));
+        // Fresh sigmoid data may legitimately keep a few build-time
+        // outliers (< outlier_ratio per leaf); the injected flood is gone.
+        assert!(
+            tree.stats().outliers < 300,
+            "rebuild should drop injected outliers, kept {}",
+            tree.stats().outliers
+        );
+        assert_eq!(tree.reorg_queue_len(), 0);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn first_level_subtree_reorg() {
+        let pairs = sigmoid_pairs(30_000);
+        let mut tree = TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs.clone());
+        assert!(tree.stats().internals > 0);
+        let source = VecPairSource(pairs);
+        for i in 0..8 {
+            assert!(tree.reorganize_first_level_subtree(i, &source));
+        }
+        tree.compact();
+        tree.check_invariants().unwrap();
+        // Single-leaf tree: partial reorg is a no-op.
+        let mut flat =
+            TrsTree::build(TrsParams::default(), (0.0, 9.0), vec![(1.0, 1.0, Tid(0))]);
+        assert!(!flat.reorganize_first_level_subtree(0, &source));
+    }
+
+    #[test]
+    fn compact_reclaims_garbage() {
+        let pairs = sigmoid_pairs(30_000);
+        let mut tree = TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs.clone());
+        let source = VecPairSource(pairs);
+        let before_nodes = tree.arena.len();
+        for i in 0..8 {
+            tree.reorganize_first_level_subtree(i, &source);
+        }
+        assert!(tree.arena.len() > before_nodes, "reorg leaves garbage");
+        tree.compact();
+        tree.check_invariants().unwrap();
+        let s = tree.stats();
+        assert_eq!(tree.arena.len(), s.leaves + s.internals);
+    }
+
+    #[test]
+    fn stale_candidates_are_skipped() {
+        let mut tree = TrsTree::build(
+            TrsParams::default(),
+            (0.0, 999.0),
+            (0..1000).map(|i| (i as f64, i as f64, Tid(i))).collect(),
+        );
+        // Manually enqueue a merge candidate pointing at a leaf (invalid).
+        tree.reorg_queue.push_back(ReorgCandidate { node: tree.root(), kind: ReorgKind::Merge });
+        let report = tree.reorganize_batch(&VecPairSource(vec![]), 10);
+        assert_eq!(report, ReorgReport { splits: 0, merges: 0, skipped: 1 });
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic query generators for the selectivity sweeps.
+//!
+//! The evaluation sweeps range-query *selectivity* (fraction of the value
+//! domain covered by the predicate) from 0.01% to 10% depending on the
+//! workload, plus point lookups. The generator draws predicate lower
+//! bounds uniformly and sizes the range as `selectivity × domain width`,
+//! which matches the paper's setup for uniformly-distributed target
+//! columns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded generator of range / point predicates over a value domain.
+#[derive(Debug)]
+pub struct QueryGen {
+    rng: StdRng,
+    lo: f64,
+    hi: f64,
+}
+
+impl QueryGen {
+    /// Generator over `[lo, hi]`.
+    pub fn new(domain: (f64, f64), seed: u64) -> Self {
+        assert!(domain.0 <= domain.1, "inverted domain");
+        QueryGen { rng: StdRng::seed_from_u64(seed), lo: domain.0, hi: domain.1 }
+    }
+
+    /// Next range predicate covering `selectivity` of the domain
+    /// (`0 < selectivity <= 1`).
+    pub fn range(&mut self, selectivity: f64) -> (f64, f64) {
+        let width = (self.hi - self.lo) * selectivity.clamp(0.0, 1.0);
+        let start_max = (self.hi - width).max(self.lo);
+        let lb = if start_max > self.lo { self.rng.gen_range(self.lo..start_max) } else { self.lo };
+        (lb, lb + width)
+    }
+
+    /// Batch of range predicates.
+    pub fn ranges(&mut self, selectivity: f64, count: usize) -> Vec<(f64, f64)> {
+        (0..count).map(|_| self.range(selectivity)).collect()
+    }
+
+    /// Next point predicate, uniform over the domain.
+    pub fn point(&mut self) -> f64 {
+        if self.hi > self.lo {
+            self.rng.gen_range(self.lo..self.hi)
+        } else {
+            self.lo
+        }
+    }
+
+    /// Batch of point predicates.
+    pub fn points(&mut self, count: usize) -> Vec<f64> {
+        (0..count).map(|_| self.point()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_have_requested_width() {
+        let mut g = QueryGen::new((0.0, 1_000.0), 1);
+        for (lb, ub) in g.ranges(0.05, 100) {
+            assert!((ub - lb - 50.0).abs() < 1e-9, "width must be 5% of domain");
+            assert!(lb >= 0.0 && ub <= 1_000.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn points_stay_in_domain() {
+        let mut g = QueryGen::new((-5.0, 5.0), 2);
+        for p in g.points(1_000) {
+            assert!((-5.0..5.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = QueryGen::new((0.0, 100.0), 9).ranges(0.1, 10);
+        let b: Vec<_> = QueryGen::new((0.0, 100.0), 9).ranges(0.1, 10);
+        assert_eq!(a, b);
+        let c: Vec<_> = QueryGen::new((0.0, 100.0), 10).ranges(0.1, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_domain_and_full_selectivity() {
+        let mut g = QueryGen::new((5.0, 5.0), 3);
+        assert_eq!(g.range(0.5), (5.0, 5.0));
+        assert_eq!(g.point(), 5.0);
+        let mut g = QueryGen::new((0.0, 10.0), 3);
+        let (lb, ub) = g.range(1.0);
+        assert_eq!((lb, ub), (0.0, 10.0));
+        // Over-unity selectivity clamps.
+        let (lb, ub) = g.range(5.0);
+        assert_eq!((lb, ub), (0.0, 10.0));
+    }
+}
