@@ -38,12 +38,8 @@ fn bench_outlier_buffer(c: &mut Criterion) {
     group.sample_size(30).measurement_time(Duration::from_secs(2));
     let data = noisy_linear(100_000, 50);
     for kind in [OutlierBufferKind::Hash, OutlierBufferKind::SortedVec] {
-        let tree = TrsTree::build_with_buffer(
-            TrsParams::default(),
-            kind,
-            (0.0, 100_000.0),
-            data.clone(),
-        );
+        let tree =
+            TrsTree::build_with_buffer(TrsParams::default(), kind, (0.0, 100_000.0), data.clone());
         let label = match kind {
             OutlierBufferKind::Hash => "hash",
             OutlierBufferKind::SortedVec => "sorted_vec",
@@ -88,10 +84,9 @@ fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sampling");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
     let data = sigmoid(200_000);
-    for (label, params) in [
-        ("off", TrsParams::default()),
-        ("on", TrsParams::default().with_sampling()),
-    ] {
+    for (label, params) in
+        [("off", TrsParams::default()), ("on", TrsParams::default().with_sampling())]
+    {
         group.bench_with_input(BenchmarkId::new("build_sigmoid", label), &data, |b, data| {
             b.iter(|| TrsTree::build(params, (0.0, 200_000.0), data.clone()))
         });
@@ -106,11 +101,7 @@ fn bench_error_bound(c: &mut Criterion) {
     group.sample_size(20).measurement_time(Duration::from_secs(2));
     let data = noisy_linear(100_000, 100);
     for eb in [1.0, 100.0, 10_000.0] {
-        let tree = TrsTree::build(
-            TrsParams::with_error_bound(eb),
-            (0.0, 100_000.0),
-            data.clone(),
-        );
+        let tree = TrsTree::build(TrsParams::with_error_bound(eb), (0.0, 100_000.0), data.clone());
         group.bench_function(BenchmarkId::new("range_width", format!("{eb}")), |b| {
             let mut i = 0u64;
             b.iter(|| {
@@ -123,11 +114,5 @@ fn bench_error_bound(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_outlier_buffer,
-    bench_fanout,
-    bench_sampling,
-    bench_error_bound
-);
+criterion_group!(benches, bench_outlier_buffer, bench_fanout, bench_sampling, bench_error_bound);
 criterion_main!(benches);

@@ -10,11 +10,7 @@ use hermit_workloads::{build_synthetic, CorrelationKind, QueryGen, SyntheticConf
 use std::time::Duration;
 
 fn setup(kind: CorrelationKind, scheme: TidScheme) -> (Database, Database, SyntheticConfig) {
-    let cfg = SyntheticConfig {
-        tuples: 100_000,
-        correlation: kind,
-        ..Default::default()
-    };
+    let cfg = SyntheticConfig { tuples: 100_000, correlation: kind, ..Default::default() };
     let mut hermit = build_synthetic(&cfg, scheme);
     hermit.create_hermit_index(cols::COL_C, cols::COL_B).unwrap();
     let mut baseline = build_synthetic(&cfg, scheme);

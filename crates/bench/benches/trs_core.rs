@@ -29,16 +29,12 @@ fn bench_build(c: &mut Criterion) {
     for kind in ["linear", "sigmoid"] {
         let data = pairs(kind, 100_000);
         group.bench_with_input(BenchmarkId::new("trs", kind), &data, |b, data| {
-            b.iter(|| {
-                TrsTree::build(TrsParams::default(), (0.0, data.len() as f64), data.clone())
-            })
+            b.iter(|| TrsTree::build(TrsParams::default(), (0.0, data.len() as f64), data.clone()))
         });
     }
     let data = pairs("linear", 100_000);
     let entries: Vec<(F64Key, Tid)> = data.iter().map(|(m, _, t)| (F64Key(*m), *t)).collect();
-    group.bench_function("btree_bulk_load", |b| {
-        b.iter(|| BPlusTree::bulk_load(entries.clone()))
-    });
+    group.bench_function("btree_bulk_load", |b| b.iter(|| BPlusTree::bulk_load(entries.clone())));
     group.finish();
 }
 
@@ -71,9 +67,8 @@ fn bench_lookup(c: &mut Criterion) {
         b.iter(|| {
             i = (i * 1103515245 + 12345) % 99_000;
             let mut count = 0usize;
-            btree.for_each_in_range(&F64Key(i as f64), &F64Key(i as f64 + 100.0), |_, _| {
-                count += 1
-            });
+            btree
+                .for_each_in_range(&F64Key(i as f64), &F64Key(i as f64 + 100.0), |_, _| count += 1);
             std::hint::black_box(count)
         })
     });
@@ -95,8 +90,7 @@ fn bench_insert(c: &mut Criterion) {
     });
     group.bench_function("btree_insert", |b| {
         let data = pairs("linear", 100_000);
-        let entries: Vec<(F64Key, Tid)> =
-            data.iter().map(|(m, _, t)| (F64Key(*m), *t)).collect();
+        let entries: Vec<(F64Key, Tid)> = data.iter().map(|(m, _, t)| (F64Key(*m), *t)).collect();
         let mut btree = BPlusTree::bulk_load(entries);
         let mut i = 0u64;
         b.iter(|| {

@@ -88,20 +88,14 @@ pub fn fig27_30_cm_comparison(scale: Scale) {
                 ("noise", format!("{:.1}%", noise * 100.0)),
                 ("method", "hermit".into()),
                 ("throughput", harness::fmt_ops(h_ops)),
-                (
-                    "memory",
-                    harness::fmt_mb(hermit.index(cols::COL_C).unwrap().memory_bytes()),
-                ),
+                ("memory", harness::fmt_mb(hermit.index(cols::COL_C).unwrap().memory_bytes())),
             ]);
             harness::row(&[
                 ("correlation", kind.label().into()),
                 ("noise", format!("{:.1}%", noise * 100.0)),
                 ("method", "baseline".into()),
                 ("throughput", harness::fmt_ops(b_ops)),
-                (
-                    "memory",
-                    harness::fmt_mb(baseline.index(cols::COL_C).unwrap().memory_bytes()),
-                ),
+                ("memory", harness::fmt_mb(baseline.index(cols::COL_C).unwrap().memory_bytes())),
             ]);
 
             // CM variants share the Hermit database's base table & host

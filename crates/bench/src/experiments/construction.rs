@@ -19,11 +19,7 @@ pub fn fig21_construction_threads(scale: Scale) {
     harness::section("fig21", "TRS-Tree construction time vs threads");
     let tuples = scale.tuples(2_000_000);
     for kind in [CorrelationKind::Linear, CorrelationKind::Sigmoid] {
-        let cfg = SyntheticConfig {
-            tuples,
-            correlation: kind,
-            ..Default::default()
-        };
+        let cfg = SyntheticConfig { tuples, correlation: kind, ..Default::default() };
         // Pre-generate the pair table once (construction time measures the
         // tree build, not data generation — as in the paper).
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -56,11 +52,7 @@ pub fn fig22_insertion(scale: Scale) {
     let tuples = scale.tuples(100_000);
     let inserts = scale.tuples(50_000);
     for extra in [1usize, 2, 4, 8, 10] {
-        let cfg = SyntheticConfig {
-            tuples,
-            extra_columns: extra,
-            ..Default::default()
-        };
+        let cfg = SyntheticConfig { tuples, extra_columns: extra, ..Default::default() };
         let run = |hermit_side: bool| -> (f64, InsertBreakdown) {
             let mut db = build_synthetic(&cfg, TidScheme::Logical);
             for j in 0..extra {

@@ -15,11 +15,9 @@ use std::time::Instant;
 pub fn fig25_correlation_types(scale: Scale) {
     harness::section("fig25", "Correlation function taxonomy: linear / sigmoid / sin");
     let n = scale.tuples(100_000);
-    let functions: &[(&str, fn(f64) -> f64)] = &[
-        ("linear", |x| x),
-        ("sigmoid", |x| 1.0 / (1.0 + (-x).exp())),
-        ("sin", f64::sin),
-    ];
+    type NamedFn = (&'static str, fn(f64) -> f64);
+    let functions: &[NamedFn] =
+        &[("linear", |x| x), ("sigmoid", |x| 1.0 / (1.0 + (-x).exp())), ("sin", f64::sin)];
     for (name, f) in functions {
         let xs: Vec<f64> = (0..n).map(|i| i as f64 / n as f64 * 20.0 - 10.0).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
@@ -29,9 +27,9 @@ pub fn fig25_correlation_types(scale: Scale) {
 
         // Average fraction of the host domain covered by a point query's
         // returned ranges — near 0 is precise, near 1 is useless.
-        let (h_lo, h_hi) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &y| {
-            (acc.0.min(y), acc.1.max(y))
-        });
+        let (h_lo, h_hi) = ys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &y| (acc.0.min(y), acc.1.max(y)));
         let host_width = (h_hi - h_lo).max(f64::MIN_POSITIVE);
         let mut covered = 0.0;
         let probes = 200;
@@ -79,11 +77,8 @@ pub fn table1_ml_training(scale: Scale) {
     harness::row(&cells);
 
     // SVR rows.
-    let kernels = [
-        Kernel::Rbf { gamma: 0.5 },
-        Kernel::Linear,
-        Kernel::Polynomial { degree: 3, coef0: 1.0 },
-    ];
+    let kernels =
+        [Kernel::Rbf { gamma: 0.5 }, Kernel::Linear, Kernel::Polynomial { degree: 3, coef0: 1.0 }];
     for kernel in kernels {
         let mut cells = vec![("model", format!("svr_{}", kernel.label()))];
         let mut per_point_cost = 0.0f64;

@@ -51,7 +51,8 @@ fn build_paged_sensor(tuples: usize) -> (Database, usize, usize) {
         let mut sum = 0.0;
         for i in 0..sensors {
             let gain = 50.0 + 20.0 * i as f64;
-            let reading = gain * concentration.powf(0.7 + 0.05 * i as f64)
+            let reading = gain
+                * concentration.powf(0.7 + 0.05 * i as f64)
                 * (1.0 + rng.gen_range(-0.002..0.002));
             sum += reading;
             row.push(Value::Float(reading));

@@ -139,11 +139,8 @@ pub fn fig14_15_point_breakdown(scale: Scale, hermit_side: bool) {
     let base = scale.tuples(200_000);
     for factor in [1usize, 10, 20] {
         let tuples = base * factor / 20;
-        let cfg = SyntheticConfig {
-            tuples,
-            correlation: CorrelationKind::Sigmoid,
-            ..Default::default()
-        };
+        let cfg =
+            SyntheticConfig { tuples, correlation: CorrelationKind::Sigmoid, ..Default::default() };
         for scheme in [TidScheme::Logical, TidScheme::Physical] {
             let (hermit, baseline) = build_pair(&cfg, scheme);
             let db = if hermit_side { &hermit } else { &baseline };

@@ -4,9 +4,7 @@
 use crate::harness::{self, measure_ops, Scale};
 use hermit_core::{Database, RangePredicate};
 use hermit_storage::TidScheme;
-use hermit_workloads::{
-    build_sensor, build_stock, QueryGen, SensorConfig, StockConfig,
-};
+use hermit_workloads::{build_sensor, build_stock, QueryGen, SensorConfig, StockConfig};
 
 /// Selectivities the paper sweeps for the real-world workloads.
 const SELECTIVITIES: &[f64] = &[0.01, 0.025, 0.05, 0.075, 0.10];
@@ -70,10 +68,8 @@ pub fn fig05_stock_memory(scale: Scale) {
     let base = stock_cfg(scale);
     // "Number of indexes" = number of stocks whose high column is indexed;
     // paper sweeps 25/50/75/100 stocks.
-    let steps: Vec<usize> = [25, 50, 75, 100]
-        .iter()
-        .map(|&s| (s * base.stocks / 100).max(1))
-        .collect();
+    let steps: Vec<usize> =
+        [25, 50, 75, 100].iter().map(|&s| (s * base.stocks / 100).max(1)).collect();
     for &stocks in &steps {
         let cfg = StockConfig { stocks, ..base };
         let mut hermit = build_stock(&cfg, TidScheme::Physical);
@@ -101,15 +97,14 @@ pub fn fig05_stock_memory(scale: Scale) {
         hermit.create_hermit_index(cfg.high_col(s), cfg.low_col(s)).unwrap();
         baseline.create_baseline_index(cfg.high_col(s), false).unwrap();
     }
-    for (name, report) in [("hermit", hermit.memory_report()), ("baseline", baseline.memory_report())] {
+    for (name, report) in
+        [("hermit", hermit.memory_report()), ("baseline", baseline.memory_report())]
+    {
         let total = report.total() as f64;
         harness::row(&[
             ("breakdown", name.into()),
             ("table", format!("{:.0}%", report.table as f64 / total * 100.0)),
-            (
-                "existing_indexes",
-                format!("{:.0}%", report.existing_indexes as f64 / total * 100.0),
-            ),
+            ("existing_indexes", format!("{:.0}%", report.existing_indexes as f64 / total * 100.0)),
             ("new_indexes", format!("{:.0}%", report.new_indexes as f64 / total * 100.0)),
         ]);
     }
@@ -177,10 +172,7 @@ pub fn fig07_sensor_memory(scale: Scale) {
                         "existing_indexes",
                         format!("{:.0}%", report.existing_indexes as f64 / total * 100.0),
                     ),
-                    (
-                        "new_indexes",
-                        format!("{:.0}%", report.new_indexes as f64 / total * 100.0),
-                    ),
+                    ("new_indexes", format!("{:.0}%", report.new_indexes as f64 / total * 100.0)),
                 ]);
             }
         }

@@ -39,11 +39,7 @@ pub fn fig20_total_memory(scale: Scale) {
     harness::section("fig20", "Total memory vs number of new indexes (Synthetic-Linear)");
     let tuples = scale.tuples(200_000);
     for extra in [1usize, 2, 4, 8, 10] {
-        let cfg = SyntheticConfig {
-            tuples,
-            extra_columns: extra,
-            ..Default::default()
-        };
+        let cfg = SyntheticConfig { tuples, extra_columns: extra, ..Default::default() };
         // Hermit: each extra column gets a TRS-Tree hosted on colB.
         let mut hermit = build_synthetic(&cfg, TidScheme::Physical);
         for j in 0..extra {
@@ -71,10 +67,7 @@ pub fn fig20_total_memory(scale: Scale) {
                         "existing_indexes",
                         format!("{:.0}%", report.existing_indexes as f64 / total * 100.0),
                     ),
-                    (
-                        "new_indexes",
-                        format!("{:.0}%", report.new_indexes as f64 / total * 100.0),
-                    ),
+                    ("new_indexes", format!("{:.0}%", report.new_indexes as f64 / total * 100.0)),
                 ]);
             }
         }

@@ -101,10 +101,7 @@ mod tests {
 
     #[test]
     fn memory_accounts_for_both_sides() {
-        let n: Node<u64, u64> = Node::Internal {
-            keys: vec![1, 2, 3],
-            children: vec![0, 1, 2, 3],
-        };
+        let n: Node<u64, u64> = Node::Internal { keys: vec![1, 2, 3], children: vec![0, 1, 2, 3] };
         assert_eq!(n.key_count(), 3);
         assert!(n.memory_bytes() >= 3 * 8 + 4 * 4);
     }

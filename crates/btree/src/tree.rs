@@ -143,14 +143,9 @@ impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
             (keys.split_off(mid), values.split_off(mid), *next)
         };
         let sep = right_keys[0].clone();
-        let right = self.alloc(Node::Leaf {
-            keys: right_keys,
-            values: right_values,
-            next: old_next,
-        });
-        let Node::Leaf { next, .. } = &mut self.arena[leaf_id as usize] else {
-            unreachable!()
-        };
+        let right =
+            self.alloc(Node::Leaf { keys: right_keys, values: right_values, next: old_next });
+        let Node::Leaf { next, .. } = &mut self.arena[leaf_id as usize] else { unreachable!() };
         *next = right;
         Split { sep, right }
     }
@@ -301,9 +296,7 @@ impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
                 break;
             }
             let next_id = *next;
-            let Node::Leaf { keys: nk, .. } = &self.arena[next_id as usize] else {
-                unreachable!()
-            };
+            let Node::Leaf { keys: nk, .. } = &self.arena[next_id as usize] else { unreachable!() };
             if nk.first().is_some_and(|k| k <= key) {
                 leaf_id = next_id;
             } else {

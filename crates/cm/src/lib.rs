@@ -254,12 +254,8 @@ mod tests {
 
     #[test]
     fn insert_extends_mappings() {
-        let mut cm = CorrelationMap::build(
-            CmParams::new(10.0, 10.0),
-            (0.0, 100.0),
-            (0.0, 1_000.0),
-            &[],
-        );
+        let mut cm =
+            CorrelationMap::build(CmParams::new(10.0, 10.0), (0.0, 100.0), (0.0, 1_000.0), &[]);
         assert_eq!(cm.mapping_count(), 0);
         assert!(cm.lookup_point(50.0).is_empty());
         cm.insert(50.0, 500.0);

@@ -117,7 +117,7 @@ impl CompositeIndexes {
         for_each_row_pair(db, leading, value, |lead, val, tid| {
             entries.push(((F64Key(lead), F64Key(val)), tid));
         })?;
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.sort_by_key(|e| e.0);
         let tree = BPlusTree::bulk_load(entries);
         self.indexes.push(CompositeIndex::Baseline { tree, leading, value });
         Ok(self.indexes.len() - 1)
@@ -213,13 +213,13 @@ impl CompositeIndexes {
 
                 // Phase 2: box probes on the (leading, host) baseline.
                 let t1 = Instant::now();
-                let Some(CompositeIndex::Baseline { tree, .. }) =
-                    self.indexes.iter().find(|i| matches!(
+                let Some(CompositeIndex::Baseline { tree, .. }) = self.indexes.iter().find(|i| {
+                    matches!(
                         i,
                         CompositeIndex::Baseline { leading: l, value: v, .. }
                             if *l == *leading && *v == *host
-                    ))
-                else {
+                    )
+                }) else {
                     return result;
                 };
                 let had_outliers = !approx.tids.is_empty();
@@ -333,9 +333,7 @@ fn for_each_row_pair(
                 if let (Some(x), Some(y)) = (ca.get_f64(i), cb.get_f64(i)) {
                     let tid = match db.scheme() {
                         TidScheme::Physical => Tid::from_loc(loc),
-                        TidScheme::Logical => {
-                            Tid::from_pk(cpk.get_f64(i).unwrap_or(0.0) as i64)
-                        }
+                        TidScheme::Logical => Tid::from_pk(cpk.get_f64(i).unwrap_or(0.0) as i64),
                     };
                     f(x, y, tid);
                 }
@@ -467,8 +465,7 @@ mod tests {
         comp.create_baseline(&db, 0, 1).unwrap();
         let hermit = comp.create_hermit(&db, 0, 2, 1, TrsParams::default()).unwrap();
         // Insert a fresh row with an off-model sp (outlier).
-        let row =
-            vec![Value::Int(5_000), Value::Float(6_000.0), Value::Float(123_456.0)];
+        let row = vec![Value::Int(5_000), Value::Float(6_000.0), Value::Float(123_456.0)];
         let tid = db.insert(&row).unwrap();
         comp.insert_row(&db, &row, tid);
         let r = comp.lookup_box(

@@ -127,8 +127,7 @@ mod tests {
     #[test]
     fn discovers_linear_and_monotone_but_not_sin() {
         let t = test_table(20_000);
-        let reports =
-            discover_correlations(&t, 4, &[1, 2, 3], &DiscoveryConfig::default());
+        let reports = discover_correlations(&t, 4, &[1, 2, 3], &DiscoveryConfig::default());
         let hosts: Vec<ColumnId> = reports.iter().map(|r| r.host).collect();
         assert!(hosts.contains(&1), "linear host must qualify");
         assert!(hosts.contains(&2), "sigmoid host must qualify via Spearman");
@@ -160,10 +159,7 @@ mod tests {
 
     #[test]
     fn nulls_are_skipped() {
-        let schema = Schema::new(vec![
-            ColumnDef::float("a"),
-            ColumnDef::float_null("b"),
-        ]);
+        let schema = Schema::new(vec![ColumnDef::float("a"), ColumnDef::float_null("b")]);
         let mut t = Table::new(schema);
         for i in 0..1_000 {
             let b = if i % 3 == 0 { Value::Null } else { Value::Float(2.0 * i as f64) };

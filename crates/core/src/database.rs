@@ -63,11 +63,7 @@ impl Heap {
     }
 
     /// Numeric cell access (`None` for NULL); the validation hot path.
-    pub fn value_f64(
-        &self,
-        loc: RowLoc,
-        cid: ColumnId,
-    ) -> hermit_storage::Result<Option<f64>> {
+    pub fn value_f64(&self, loc: RowLoc, cid: ColumnId) -> hermit_storage::Result<Option<f64>> {
         match self {
             Heap::Mem(t) => t.value_f64(loc, cid),
             Heap::Paged(t) => t.value_f64(loc, cid),
@@ -291,10 +287,7 @@ impl Database {
 
     /// Delete a row by primary key, maintaining all indexes.
     pub fn delete_by_pk(&mut self, pk: i64) -> hermit_storage::Result<()> {
-        let loc = self
-            .primary
-            .get(pk)
-            .ok_or(StorageError::RowNotFound { loc: pk as u64 })?;
+        let loc = self.primary.get(pk).ok_or(StorageError::RowNotFound { loc: pk as u64 })?;
         let row = self.heap.get(loc)?;
         let tid = self.make_tid(pk, loc);
         for (&col, index) in self.secondary.iter_mut() {
@@ -369,11 +362,7 @@ impl Database {
             "host column {host} must carry a baseline index before a Hermit index can route to it"
         );
         let pairs = self.project_tid_pairs(target, host)?;
-        let range = self
-            .heap
-            .stats(target)?
-            .range()
-            .unwrap_or((0.0, 0.0));
+        let range = self.heap.stats(target)?.range().unwrap_or((0.0, 0.0));
         let trs = TrsTree::build(self.trs_params, range, pairs);
         self.secondary.insert(target, SecondaryIndex::Hermit { trs, host });
         Ok(())
@@ -403,12 +392,8 @@ impl Database {
         target: ColumnId,
         config: &DiscoveryConfig,
     ) -> hermit_storage::Result<bool> {
-        let hosts: Vec<ColumnId> = self
-            .secondary
-            .iter()
-            .filter(|(_, idx)| !idx.is_hermit())
-            .map(|(&c, _)| c)
-            .collect();
+        let hosts: Vec<ColumnId> =
+            self.secondary.iter().filter(|(_, idx)| !idx.is_hermit()).map(|(&c, _)| c).collect();
         let candidates = match &self.heap {
             Heap::Mem(t) => discover_correlations(t, target, &hosts, config),
             // Discovery over paged heaps would scan pages; the disk
@@ -440,10 +425,7 @@ impl Database {
                 // Need the pk per row; fetch through the heap.
                 let mut out = Vec::with_capacity(raw.len());
                 for (m, n, loc) in raw {
-                    let pk = self
-                        .heap
-                        .value_f64(loc, self.pk_col)?
-                        .unwrap_or(0.0) as i64;
+                    let pk = self.heap.value_f64(loc, self.pk_col)?.unwrap_or(0.0) as i64;
                     out.push((m, n, Tid::from_pk(pk)));
                 }
                 Ok(out)
@@ -483,9 +465,9 @@ pub struct TablePairSource<'a> {
 impl PairSource for TablePairSource<'_> {
     fn scan_range(&self, lb: f64, ub: f64) -> Vec<(f64, f64, Tid)> {
         let raw = match &self.db.heap {
-            Heap::Mem(t) => t
-                .project_pairs_in_range(self.target, self.host, lb, ub)
-                .unwrap_or_default(),
+            Heap::Mem(t) => {
+                t.project_pairs_in_range(self.target, self.host, lb, ub).unwrap_or_default()
+            }
             Heap::Paged(t) => t
                 .project_pairs(self.target, self.host)
                 .unwrap_or_default()
@@ -500,13 +482,9 @@ impl PairSource for TablePairSource<'_> {
             TidScheme::Logical => raw
                 .into_iter()
                 .map(|(m, n, loc)| {
-                    let pk = self
-                        .db
-                        .heap
-                        .value_f64(loc, self.db.pk_col)
-                        .ok()
-                        .flatten()
-                        .unwrap_or(0.0) as i64;
+                    let pk =
+                        self.db.heap.value_f64(loc, self.db.pk_col).ok().flatten().unwrap_or(0.0)
+                            as i64;
                     (m, n, Tid::from_pk(pk))
                 })
                 .collect(),
@@ -531,8 +509,7 @@ mod tests {
         let mut db = Database::new(schema(), 0, scheme);
         for i in 0..n {
             let m = i as f64;
-            db.insert(&[Value::Int(i as i64), Value::Float(2.0 * m), Value::Float(m)])
-                .unwrap();
+            db.insert(&[Value::Int(i as i64), Value::Float(2.0 * m), Value::Float(m)]).unwrap();
         }
         db
     }
@@ -541,9 +518,7 @@ mod tests {
     fn insert_and_resolve_both_schemes() {
         for scheme in [TidScheme::Logical, TidScheme::Physical] {
             let mut db = Database::new(schema(), 0, scheme);
-            let tid = db
-                .insert(&[Value::Int(7), Value::Float(1.0), Value::Float(2.0)])
-                .unwrap();
+            let tid = db.insert(&[Value::Int(7), Value::Float(1.0), Value::Float(2.0)]).unwrap();
             let loc = db.resolve(tid).expect("tid resolves");
             assert_eq!(db.heap().get(loc).unwrap()[0], Value::Int(7));
         }
@@ -556,8 +531,7 @@ mod tests {
         let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
         assert_eq!(tree.len(), 1_000);
         // Subsequent inserts maintain it.
-        db.insert(&[Value::Int(5_000), Value::Float(0.0), Value::Float(123.456)])
-            .unwrap();
+        db.insert(&[Value::Int(5_000), Value::Float(0.0), Value::Float(123.456)]).unwrap();
         let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
         assert_eq!(tree.len(), 1_001);
         assert!(tree.contains_key(&F64Key(123.456)));
@@ -607,8 +581,7 @@ mod tests {
         for i in 0..20_000 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let noise = (state >> 33) as f64;
-            db.insert(&[Value::Int(i), Value::Float(noise), Value::Float(i as f64)])
-                .unwrap();
+            db.insert(&[Value::Int(i), Value::Float(noise), Value::Float(i as f64)]).unwrap();
         }
         db.create_baseline_index(1, true).unwrap();
         let used_hermit = db.create_index_auto(2, &DiscoveryConfig::default()).unwrap();
@@ -640,10 +613,7 @@ mod tests {
             report.new_indexes < report.existing_indexes,
             "Hermit new-index share must be small: {report:?}"
         );
-        assert_eq!(
-            report.total(),
-            report.table + report.existing_indexes + report.new_indexes
-        );
+        assert_eq!(report.total(), report.table + report.existing_indexes + report.new_indexes);
     }
 
     #[test]

@@ -84,11 +84,7 @@ impl Database {
     ///
     /// `extra` is an optional second predicate validated at the base table
     /// (the Stock workload's `TIME BETWEEN ? AND ?` conjunct).
-    pub fn lookup_range(
-        &self,
-        pred: RangePredicate,
-        extra: Option<RangePredicate>,
-    ) -> QueryResult {
+    pub fn lookup_range(&self, pred: RangePredicate, extra: Option<RangePredicate>) -> QueryResult {
         match self.index(pred.column) {
             Some(SecondaryIndex::Hermit { trs, host }) => {
                 self.hermit_lookup(trs, *host, pred, extra)
@@ -181,9 +177,7 @@ impl Database {
     ) {
         // Phase 3: primary-index lookups (logical scheme only).
         let locs: Vec<RowLoc> = match self.scheme() {
-            TidScheme::Physical => {
-                candidates.into_iter().map(|t| t.as_loc()).collect()
-            }
+            TidScheme::Physical => candidates.into_iter().map(|t| t.as_loc()).collect(),
             TidScheme::Logical => {
                 let t2 = Instant::now();
                 let resolved: Vec<RowLoc> = candidates
@@ -291,11 +285,8 @@ mod tests {
     }
 
     fn row_targets(db: &Database, result: &QueryResult) -> Vec<f64> {
-        let mut v: Vec<f64> = result
-            .rows
-            .iter()
-            .map(|&loc| db.heap().value_f64(loc, 2).unwrap().unwrap())
-            .collect();
+        let mut v: Vec<f64> =
+            result.rows.iter().map(|&loc| db.heap().value_f64(loc, 2).unwrap().unwrap()).collect();
         v.sort_by(|a, b| a.total_cmp(b));
         v
     }

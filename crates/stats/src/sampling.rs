@@ -34,10 +34,7 @@ pub fn sample_fraction<'a, T>(
 ) -> Vec<&'a T> {
     let frac = fraction.clamp(0.0, 1.0);
     let k = ((items.len() as f64 * frac).ceil() as usize).max(min_size.min(items.len()));
-    sample_indices(rng, items.len(), k)
-        .into_iter()
-        .map(|i| &items[i])
-        .collect()
+    sample_indices(rng, items.len(), k).into_iter().map(|i| &items[i]).collect()
 }
 
 #[cfg(test)]

@@ -223,9 +223,6 @@ mod tests {
         let t0 = Instant::now();
         Svr::fit(&xs, &ys, params);
         let large = t0.elapsed();
-        assert!(
-            large > small * 4,
-            "SVR should scale superlinearly: {small:?} vs {large:?}"
-        );
+        assert!(large > small * 4, "SVR should scale superlinearly: {small:?} vs {large:?}");
     }
 }

@@ -222,7 +222,9 @@ mod tests {
         let p = pool(4);
         let id = p.allocate(8).unwrap();
         p.write(id, |page| page.insert(&7u64.to_le_bytes()).unwrap()).unwrap();
-        let v = p.read(id, |page| u64::from_le_bytes(page.get(0).unwrap().try_into().unwrap())).unwrap();
+        let v = p
+            .read(id, |page| u64::from_le_bytes(page.get(0).unwrap().try_into().unwrap()))
+            .unwrap();
         assert_eq!(v, 7);
         // allocate() installs the page, so both accesses were hits.
         assert_eq!(p.stats().misses(), 0);
@@ -277,8 +279,10 @@ mod tests {
         let b = p.allocate(8).unwrap();
         p.write(a, |page| page.insert(&1u64.to_le_bytes()).unwrap()).unwrap();
         p.write(b, |page| page.insert(&2u64.to_le_bytes()).unwrap()).unwrap();
-        let va = p.read(a, |page| u64::from_le_bytes(page.get(0).unwrap().try_into().unwrap())).unwrap();
-        let vb = p.read(b, |page| u64::from_le_bytes(page.get(0).unwrap().try_into().unwrap())).unwrap();
+        let va =
+            p.read(a, |page| u64::from_le_bytes(page.get(0).unwrap().try_into().unwrap())).unwrap();
+        let vb =
+            p.read(b, |page| u64::from_le_bytes(page.get(0).unwrap().try_into().unwrap())).unwrap();
         assert_eq!((va, vb), (1, 2));
     }
 }

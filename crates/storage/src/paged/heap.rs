@@ -142,16 +142,16 @@ impl PagedTable {
     /// Fetch a full row; costs a buffer-pool access.
     pub fn get(&self, loc: RowLoc) -> Result<Vec<Value>> {
         let width = self.schema.width();
-        self.pool
-            .read(loc.block as PageId, |page| page.get(loc.offset as u16).map(|b| decode_row(b, width)))?
+        self.pool.read(loc.block as PageId, |page| {
+            page.get(loc.offset as u16).map(|b| decode_row(b, width))
+        })?
     }
 
     /// Fetch one cell; still costs a full page access, as in a real heap.
     pub fn value(&self, loc: RowLoc, cid: ColumnId) -> Result<Value> {
         self.schema.column(cid)?;
         self.pool.read(loc.block as PageId, |page| {
-            page.get(loc.offset as u16)
-                .map(|b| decode_cell(&b[cid * CELL_BYTES..]))
+            page.get(loc.offset as u16).map(|b| decode_cell(&b[cid * CELL_BYTES..]))
         })?
     }
 
@@ -162,8 +162,7 @@ impl PagedTable {
 
     /// Tombstone a row.
     pub fn delete(&self, loc: RowLoc) -> Result<()> {
-        self.pool
-            .write(loc.block as PageId, |page| page.delete(loc.offset as u16))??;
+        self.pool.write(loc.block as PageId, |page| page.delete(loc.offset as u16))??;
         *self.live_rows.lock() -= 1;
         Ok(())
     }
@@ -185,7 +184,11 @@ impl PagedTable {
 
     /// Project two numeric columns over all live rows (Algorithm 1's
     /// temporary table), skipping NULLs.
-    pub fn project_pairs(&self, target: ColumnId, host: ColumnId) -> Result<Vec<(f64, f64, RowLoc)>> {
+    pub fn project_pairs(
+        &self,
+        target: ColumnId,
+        host: ColumnId,
+    ) -> Result<Vec<(f64, f64, RowLoc)>> {
         self.schema.column(target)?;
         self.schema.column(host)?;
         let pages = self.pages.lock().clone();

@@ -82,13 +82,13 @@ pub struct FilePageStore {
 impl FilePageStore {
     /// Create (truncating) a file-backed store at `path`.
     pub fn create(path: &std::path::Path) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        Ok(FilePageStore { file: Mutex::new(file), next_page: AtomicU64::new(0), stats: IoStats::default() })
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(FilePageStore {
+            file: Mutex::new(file),
+            next_page: AtomicU64::new(0),
+            stats: IoStats::default(),
+        })
     }
 }
 
@@ -196,9 +196,7 @@ impl PageStore for SimulatedPageStore {
 
     fn write(&self, id: PageId, page: &Page) -> Result<()> {
         let mut pages = self.pages.lock();
-        let slot = pages
-            .get_mut(id as usize)
-            .ok_or(StorageError::PageNotFound { page: id })?;
+        let slot = pages.get_mut(id as usize).ok_or(StorageError::PageNotFound { page: id })?;
         *slot = Some(Box::new(page.clone()));
         drop(pages);
         Self::charge(self.write_latency);

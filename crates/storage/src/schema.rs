@@ -7,7 +7,7 @@ use crate::Result;
 pub type ColumnId = usize;
 
 /// Declared type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// 64-bit signed integer.
     Int,
@@ -74,10 +74,9 @@ impl Schema {
 
     /// Definition of column `cid`, or an error if out of range.
     pub fn column(&self, cid: ColumnId) -> Result<&ColumnDef> {
-        self.columns.get(cid).ok_or(StorageError::ColumnOutOfRange {
-            column: cid,
-            width: self.columns.len(),
-        })
+        self.columns
+            .get(cid)
+            .ok_or(StorageError::ColumnOutOfRange { column: cid, width: self.columns.len() })
     }
 
     /// All column definitions in order.
@@ -116,10 +115,7 @@ mod tests {
         let s = sample();
         assert_eq!(s.column(0).unwrap().ty, ColumnType::Int);
         assert!(s.column(2).unwrap().nullable);
-        assert!(matches!(
-            s.column(3),
-            Err(StorageError::ColumnOutOfRange { column: 3, width: 3 })
-        ));
+        assert!(matches!(s.column(3), Err(StorageError::ColumnOutOfRange { column: 3, width: 3 })));
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl RowLoc {
     /// Construct from a dense row index.
     #[inline]
     pub fn from_index(idx: usize) -> Self {
-        RowLoc { block: (idx as u64 / ROWS_PER_BLOCK as u64) as u32, offset: (idx as u64 % ROWS_PER_BLOCK as u64) as u32 }
+        RowLoc {
+            block: (idx as u64 / ROWS_PER_BLOCK as u64) as u32,
+            offset: (idx as u64 % ROWS_PER_BLOCK as u64) as u32,
+        }
     }
 
     /// Dense row index this location refers to.
@@ -79,11 +82,7 @@ impl Table {
 
     /// Create an empty table with per-column capacity reserved.
     pub fn with_capacity(schema: Schema, cap: usize) -> Self {
-        let columns = schema
-            .columns()
-            .iter()
-            .map(|c| Column::with_capacity(c.ty, cap))
-            .collect();
+        let columns = schema.columns().iter().map(|c| Column::with_capacity(c.ty, cap)).collect();
         let stats = schema.columns().iter().map(|_| ColumnStats::default()).collect();
         Table {
             schema,
@@ -121,7 +120,10 @@ impl Table {
     /// non-nullable columns.
     pub fn insert(&mut self, row: &[Value]) -> Result<RowLoc> {
         if row.len() != self.schema.width() {
-            return Err(StorageError::ArityMismatch { got: row.len(), expected: self.schema.width() });
+            return Err(StorageError::ArityMismatch {
+                got: row.len(),
+                expected: self.schema.width(),
+            });
         }
         for (cid, v) in row.iter().enumerate() {
             let def = self.schema.column(cid)?;
@@ -223,9 +225,7 @@ impl Table {
 
     /// Iterate live rows as `(RowLoc, row index)` pairs.
     pub fn scan(&self) -> impl Iterator<Item = RowLoc> + '_ {
-        (0..self.total_rows)
-            .filter(move |&i| !self.is_deleted(i))
-            .map(RowLoc::from_index)
+        (0..self.total_rows).filter(move |&i| !self.is_deleted(i)).map(RowLoc::from_index)
     }
 
     /// Project two numeric columns (plus row locations) over all live rows,
@@ -234,7 +234,11 @@ impl Table {
     /// This is the `ProjectTable` step of Algorithm 1: it materializes the
     /// temporary (target, host, tid) table that TRS-Tree construction
     /// consumes.
-    pub fn project_pairs(&self, target: ColumnId, host: ColumnId) -> Result<Vec<(f64, f64, RowLoc)>> {
+    pub fn project_pairs(
+        &self,
+        target: ColumnId,
+        host: ColumnId,
+    ) -> Result<Vec<(f64, f64, RowLoc)>> {
         self.schema.column(target)?;
         self.schema.column(host)?;
         let t = &self.columns[target];
@@ -284,8 +288,7 @@ impl Table {
     /// Heap bytes held by the table (columns + tombstones). The paper's
     /// memory-breakdown figures report this alongside index sizes.
     pub fn memory_bytes(&self) -> usize {
-        self.columns.iter().map(|c| c.memory_bytes()).sum::<usize>()
-            + self.deleted.capacity() * 8
+        self.columns.iter().map(|c| c.memory_bytes()).sum::<usize>() + self.deleted.capacity() * 8
     }
 }
 
@@ -295,11 +298,7 @@ mod tests {
     use crate::schema::ColumnDef;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            ColumnDef::int("pk"),
-            ColumnDef::float("a"),
-            ColumnDef::float_null("b"),
-        ])
+        Schema::new(vec![ColumnDef::int("pk"), ColumnDef::float("a"), ColumnDef::float_null("b")])
     }
 
     fn row(pk: i64, a: f64, b: Option<f64>) -> Vec<Value> {

@@ -8,7 +8,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// A single cell value stored in a table.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// SQL NULL. Compares less than any non-null value (PostgreSQL's
     /// `NULLS FIRST` convention) so that sorting rows with missing readings
@@ -156,10 +156,7 @@ mod tests {
     #[test]
     fn null_sorts_first() {
         assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
-        assert_eq!(
-            Value::Float(f64::NEG_INFINITY).total_cmp(&Value::Null),
-            Ordering::Greater
-        );
+        assert_eq!(Value::Float(f64::NEG_INFINITY).total_cmp(&Value::Null), Ordering::Greater);
         assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
     }
 
@@ -179,11 +176,13 @@ mod tests {
 
     #[test]
     fn f64key_total_order() {
-        let mut keys = [F64Key(1.0),
+        let mut keys = [
+            F64Key(1.0),
             F64Key(f64::NEG_INFINITY),
             F64Key(-0.5),
             F64Key(f64::INFINITY),
-            F64Key(0.0)];
+            F64Key(0.0),
+        ];
         keys.sort();
         let raw: Vec<f64> = keys.iter().map(|k| k.0).collect();
         assert_eq!(raw, vec![f64::NEG_INFINITY, -0.5, 0.0, 1.0, f64::INFINITY]);

@@ -21,6 +21,9 @@ use hermit_storage::Tid;
 use rand::Rng;
 use std::collections::VecDeque;
 
+/// One `(target, host, tid)` tuple, the unit of TRS-Tree construction.
+type Pair = (f64, f64, Tid);
+
 /// Smallest ε a leaf may carry. A strictly positive floor keeps exact
 /// functional dependencies (ε would be 0) from classifying every point that
 /// suffers floating-point rounding as an outlier.
@@ -55,7 +58,7 @@ pub fn derive_eps(params: &TrsParams, beta: f64, range: &ValueRange, n: usize) -
 fn compute_and_validate(
     params: &TrsParams,
     range: &ValueRange,
-    pairs: &[(f64, f64, Tid)],
+    pairs: &[Pair],
 ) -> (LinearModel, f64, usize) {
     let model = LinearModel::fit_iter(pairs.iter().map(|(m, n, _)| (*m, *n)));
     let eps = derive_eps(params, model.beta, range, pairs.len());
@@ -66,9 +69,9 @@ fn compute_and_validate(
 
     // Trimmed refit: order by residual under the first model, keep the
     // best (1 − outlier_ratio) share, refit on those inliers.
-    let keep = ((pairs.len() as f64 * (1.0 - params.outlier_ratio)).ceil() as usize)
-        .clamp(2, pairs.len());
-    let mut by_residual: Vec<&(f64, f64, Tid)> = pairs.iter().collect();
+    let keep =
+        ((pairs.len() as f64 * (1.0 - params.outlier_ratio)).ceil() as usize).clamp(2, pairs.len());
+    let mut by_residual: Vec<&Pair> = pairs.iter().collect();
     by_residual.sort_by(|a, b| model.residual(a.0, a.1).total_cmp(&model.residual(b.0, b.1)));
     let refit = LinearModel::fit_iter(by_residual[..keep].iter().map(|p| (p.0, p.1)));
     let refit_eps = derive_eps(params, refit.beta, range, pairs.len());
@@ -88,7 +91,7 @@ fn sample_says_split(
     params: &TrsParams,
     rng: &mut impl Rng,
     range: &ValueRange,
-    pairs: &[(f64, f64, Tid)],
+    pairs: &[Pair],
     fraction: f64,
 ) -> bool {
     // Tiny nodes are cheaper to fit exactly than to sample.
@@ -118,7 +121,7 @@ fn make_leaf(
     params: &TrsParams,
     kind: crate::OutlierBufferKind,
     range: ValueRange,
-    pairs: &[(f64, f64, Tid)],
+    pairs: &[Pair],
 ) -> Node {
     let (model, mut eps, outliers) = compute_and_validate(params, &range, pairs);
     if !pairs.is_empty() && outliers as f64 > params.outlier_ratio * pairs.len() as f64 {
@@ -154,12 +157,11 @@ const SPLIT_IMPROVEMENT_FACTOR: f64 = 0.75;
 /// Median absolute residual of `pairs` under `model` (0.0 for empty input).
 /// The median is robust to the extreme outliers that motivate Hermit in
 /// the first place.
-fn median_abs_residual(model: &LinearModel, pairs: &[(f64, f64, Tid)]) -> f64 {
+fn median_abs_residual(model: &LinearModel, pairs: &[Pair]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let mut residuals: Vec<f64> =
-        pairs.iter().map(|(m, n, _)| model.residual(*m, *n)).collect();
+    let mut residuals: Vec<f64> = pairs.iter().map(|(m, n, _)| model.residual(*m, *n)).collect();
     residuals.sort_by(f64::total_cmp);
     residuals[residuals.len() / 2]
 }
@@ -170,7 +172,7 @@ fn should_split(
     rng: &mut impl Rng,
     depth: usize,
     range: &ValueRange,
-    pairs: &[(f64, f64, Tid)],
+    pairs: &[Pair],
 ) -> bool {
     if depth >= params.max_height || range.width() <= 0.0 {
         return false;
@@ -209,24 +211,18 @@ fn should_split(
         // small bucket drag the child fit so badly that the lookahead
         // wrongly concludes splitting cannot help.
         let (child_model, _, _) = compute_and_validate(params, sub, bucket);
-        weighted_child_cost +=
-            median_abs_residual(&child_model, bucket) * bucket.len() as f64;
+        weighted_child_cost += median_abs_residual(&child_model, bucket) * bucket.len() as f64;
     }
     weighted_child_cost / (pairs.len() as f64) < parent_cost * SPLIT_IMPROVEMENT_FACTOR
 }
 
 /// Partition `pairs` into per-child buckets for `subs` (equal-width ranges).
-fn split_table(
-    subs: &[ValueRange],
-    parent: &ValueRange,
-    pairs: Vec<(f64, f64, Tid)>,
-) -> Vec<Vec<(f64, f64, Tid)>> {
+fn split_table(subs: &[ValueRange], parent: &ValueRange, pairs: Vec<Pair>) -> Vec<Vec<Pair>> {
     let k = subs.len();
     let w = parent.width();
-    let mut buckets: Vec<Vec<(f64, f64, Tid)>> = (0..k).map(|_| Vec::new()).collect();
+    let mut buckets: Vec<Vec<Pair>> = (0..k).map(|_| Vec::new()).collect();
     for p in pairs {
-        let idx =
-            (((p.0 - parent.lb) / w * k as f64) as isize).clamp(0, k as isize - 1) as usize;
+        let idx = (((p.0 - parent.lb) / w * k as f64) as isize).clamp(0, k as isize - 1) as usize;
         buckets[idx].push(p);
     }
     buckets
@@ -236,7 +232,7 @@ impl TrsTree {
     /// Build a TRS-Tree over `(target, host, tid)` pairs covering `range`
     /// (Algorithm 1). `range` normally comes from optimizer statistics
     /// ([`hermit_storage::ColumnStats::range`]).
-    pub fn build(params: TrsParams, range: (f64, f64), pairs: Vec<(f64, f64, Tid)>) -> Self {
+    pub fn build(params: TrsParams, range: (f64, f64), pairs: Vec<Pair>) -> Self {
         Self::build_with_buffer(params, crate::OutlierBufferKind::default(), range, pairs)
     }
 
@@ -245,7 +241,7 @@ impl TrsTree {
         params: TrsParams,
         buffer_kind: crate::OutlierBufferKind,
         range: (f64, f64),
-        pairs: Vec<(f64, f64, Tid)>,
+        pairs: Vec<Pair>,
     ) -> Self {
         params.validate().expect("invalid TrsParams");
         let root_range = ValueRange::new(range.0, range.1);
@@ -270,7 +266,7 @@ impl TrsTree {
                 buffer_kind,
             )),
         });
-        let mut queue: VecDeque<(NodeId, usize, Vec<(f64, f64, Tid)>)> = VecDeque::new();
+        let mut queue: VecDeque<(NodeId, usize, Vec<Pair>)> = VecDeque::new();
         queue.push_back((0, 1, pairs));
 
         while let Some((slot, depth, node_pairs)) = queue.pop_front() {
@@ -311,7 +307,7 @@ impl TrsTree {
 pub fn build_parallel(
     params: TrsParams,
     range: (f64, f64),
-    pairs: Vec<(f64, f64, Tid)>,
+    pairs: Vec<Pair>,
     threads: usize,
 ) -> TrsTree {
     params.validate().expect("invalid TrsParams");
@@ -326,10 +322,8 @@ pub fn build_parallel(
     // exactly the large inputs threading targets. Decide on a 2% sample —
     // the workers re-fit their subtrees exactly anyway.
     let root_wants_split = {
-        let sample: Vec<(f64, f64, Tid)> = sampling::sample_fraction(&mut rng, &pairs, 0.02, 2_000)
-            .into_iter()
-            .copied()
-            .collect();
+        let sample: Vec<Pair> =
+            sampling::sample_fraction(&mut rng, &pairs, 0.02, 2_000).into_iter().copied().collect();
         should_split(&params, &mut rng, 1, &root_range, &sample)
     };
     // If the root doesn't split, there is nothing to parallelize.
@@ -345,7 +339,7 @@ pub fn build_parallel(
     let mut sub_params = params;
     sub_params.max_height = params.max_height.saturating_sub(1).max(1);
 
-    let mut jobs: Vec<Option<(ValueRange, Vec<(f64, f64, Tid)>)>> =
+    let mut jobs: Vec<Option<(ValueRange, Vec<Pair>)>> =
         subs.into_iter().zip(buckets).map(Some).collect();
     let mut subtrees: Vec<Option<TrsTree>> = (0..jobs.len()).map(|_| None).collect();
 
@@ -358,9 +352,7 @@ pub fn build_parallel(
                 let (sub, bucket) = jobs[idx].take().expect("job taken once");
                 handles.push((
                     idx,
-                    scope.spawn(move |_| {
-                        TrsTree::build(sub_params, (sub.lb, sub.ub), bucket)
-                    }),
+                    scope.spawn(move |_| TrsTree::build(sub_params, (sub.lb, sub.ub), bucket)),
                 ));
             }
             for (idx, h) in handles.drain(..) {
@@ -404,9 +396,8 @@ pub fn build_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
-    fn linear_pairs(n: usize) -> Vec<(f64, f64, Tid)> {
+    fn linear_pairs(n: usize) -> Vec<Pair> {
         (0..n)
             .map(|i| {
                 let m = i as f64;
@@ -415,7 +406,7 @@ mod tests {
             .collect()
     }
 
-    fn sigmoid_pairs(n: usize) -> Vec<(f64, f64, Tid)> {
+    fn sigmoid_pairs(n: usize) -> Vec<Pair> {
         (0..n)
             .map(|i| {
                 let m = i as f64 / n as f64 * 20.0 - 10.0;
@@ -510,11 +501,8 @@ mod tests {
 
     #[test]
     fn larger_error_bound_means_fewer_nodes() {
-        let small = TrsTree::build(
-            TrsParams::with_error_bound(1.0),
-            (-10.0, 10.0),
-            sigmoid_pairs(30_000),
-        );
+        let small =
+            TrsTree::build(TrsParams::with_error_bound(1.0), (-10.0, 10.0), sigmoid_pairs(30_000));
         let large = TrsTree::build(
             TrsParams::with_error_bound(1000.0),
             (-10.0, 10.0),
@@ -532,13 +520,14 @@ mod tests {
     fn sampling_precheck_produces_equivalent_quality() {
         let pairs = sigmoid_pairs(40_000);
         let plain = TrsTree::build(TrsParams::default(), (-10.0, 10.0), pairs.clone());
-        let sampled =
-            TrsTree::build(TrsParams::default().with_sampling(), (-10.0, 10.0), pairs);
+        let sampled = TrsTree::build(TrsParams::default().with_sampling(), (-10.0, 10.0), pairs);
         // Both must model the curve; sampling may split slightly more
         // eagerly but the structures should be the same order of size.
         let (a, b) = (plain.stats(), sampled.stats());
-        assert!(b.leaves >= a.leaves / 4 && b.leaves <= a.leaves * 4,
-            "sampled build diverged: {a:?} vs {b:?}");
+        assert!(
+            b.leaves >= a.leaves / 4 && b.leaves <= a.leaves * 4,
+            "sampled build diverged: {a:?} vs {b:?}"
+        );
         sampled.check_invariants().unwrap();
     }
 

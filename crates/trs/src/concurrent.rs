@@ -269,12 +269,7 @@ mod tests {
 
     impl crate::PairSource for SharedSource {
         fn scan_range(&self, lb: f64, ub: f64) -> Vec<(f64, f64, Tid)> {
-            self.0
-                .lock()
-                .iter()
-                .filter(|(m, _, _)| *m >= lb && *m <= ub)
-                .copied()
-                .collect()
+            self.0.lock().iter().filter(|(m, _, _)| *m >= lb && *m <= ub).copied().collect()
         }
     }
 

@@ -69,10 +69,6 @@ pub struct VecPairSource(pub Vec<(f64, f64, Tid)>);
 
 impl PairSource for VecPairSource {
     fn scan_range(&self, lb: f64, ub: f64) -> Vec<(f64, f64, Tid)> {
-        self.0
-            .iter()
-            .filter(|(m, _, _)| *m >= lb && *m <= ub)
-            .copied()
-            .collect()
+        self.0.iter().filter(|(m, _, _)| *m >= lb && *m <= ub).copied().collect()
     }
 }

@@ -76,7 +76,10 @@ impl TrsTree {
                     // predicate; skip leaves that never covered data (their
                     // constant(0) placeholder model would pollute the host
                     // ranges).
-                    if leaf.covered > 0 && r.lb <= r.ub && ub >= root_range.lb && lb <= root_range.ub
+                    if leaf.covered > 0
+                        && r.lb <= r.ub
+                        && ub >= root_range.lb
+                        && lb <= root_range.ub
                     {
                         raw_ranges.push(leaf.model.range_band(r.lb, r.ub, leaf.eps));
                     }
@@ -214,7 +217,8 @@ mod tests {
                 (m, m + (m / 100.0).sin() * 5.0, Tid(i as u64))
             })
             .collect();
-        let narrow = TrsTree::build(TrsParams::with_error_bound(1.0), (0.0, 9_999.0), pairs.clone());
+        let narrow =
+            TrsTree::build(TrsParams::with_error_bound(1.0), (0.0, 9_999.0), pairs.clone());
         let wide = TrsTree::build(TrsParams::with_error_bound(10_000.0), (0.0, 9_999.0), pairs);
         let wn = narrow.lookup(100.0, 110.0).total_range_width();
         let ww = wide.lookup(100.0, 110.0).total_range_width();

@@ -121,8 +121,8 @@ impl TrsTree {
                     let idx = if w <= 0.0 {
                         0
                     } else {
-                        (((probe - n.range.lb) / w * k as f64) as isize)
-                            .clamp(0, k as isize - 1) as usize
+                        (((probe - n.range.lb) / w * k as f64) as isize).clamp(0, k as isize - 1)
+                            as usize
                     };
                     id = children[idx];
                 }

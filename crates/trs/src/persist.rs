@@ -25,6 +25,7 @@ use crate::node::{LeafData, Node, NodeKind, OutlierBufferKind, TrsTree, ValueRan
 use crate::params::TrsParams;
 use hermit_stats::LinearModel;
 use hermit_storage::Tid;
+use std::cmp::Ordering;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 
@@ -220,7 +221,8 @@ impl TrsTree {
         for _ in 0..count {
             let lb = r.f64()?;
             let ub = r.f64()?;
-            if !(lb <= ub) {
+            // Rejects NaN bounds as well as inverted ones.
+            if !matches!(lb.partial_cmp(&ub), Some(Ordering::Less | Ordering::Equal)) {
                 return Err(PersistError::Corrupt("inverted node range"));
             }
             let range = ValueRange::new(lb, ub);
@@ -398,10 +400,6 @@ mod tests {
         // structure is succinct. 30k tuples → a snapshot in the KBs.
         let mut tree = sample_tree(30_000);
         let bytes = tree.snapshot_bytes().unwrap();
-        assert!(
-            bytes.len() < 64 * 1024,
-            "snapshot should be tiny, got {} bytes",
-            bytes.len()
-        );
+        assert!(bytes.len() < 64 * 1024, "snapshot should be tiny, got {} bytes", bytes.len());
     }
 }

@@ -48,12 +48,8 @@ impl TrsTree {
         let mut sub_params = self.params;
         sub_params.max_height = (self.params.max_height + 1).saturating_sub(depth).max(1);
 
-        let sub = TrsTree::build_with_buffer(
-            sub_params,
-            self.buffer_kind,
-            (range.lb, range.ub),
-            pairs,
-        );
+        let sub =
+            TrsTree::build_with_buffer(sub_params, self.buffer_kind, (range.lb, range.ub), pairs);
         let leaves = sub.stats().leaves;
 
         // Graft: copy the sub-arena in, fixing child ids, then overwrite
@@ -96,8 +92,8 @@ impl TrsTree {
                     let idx = if w <= 0.0 {
                         0
                     } else {
-                        (((probe - n.range.lb) / w * k as f64) as isize)
-                            .clamp(0, k as isize - 1) as usize
+                        (((probe - n.range.lb) / w * k as f64) as isize).clamp(0, k as isize - 1)
+                            as usize
                     };
                     id = children[idx];
                     depth += 1;
@@ -144,12 +140,8 @@ impl TrsTree {
     pub fn rebuild(&mut self, source: &dyn PairSource) {
         let range = self.node(self.root).range;
         let pairs = source.scan_range(range.lb, range.ub);
-        let fresh = TrsTree::build_with_buffer(
-            self.params,
-            self.buffer_kind,
-            (range.lb, range.ub),
-            pairs,
-        );
+        let fresh =
+            TrsTree::build_with_buffer(self.params, self.buffer_kind, (range.lb, range.ub), pairs);
         self.arena = fresh.arena;
         self.root = fresh.root;
         self.reorg_queue.clear();
@@ -326,8 +318,7 @@ mod tests {
         tree.compact();
         tree.check_invariants().unwrap();
         // Single-leaf tree: partial reorg is a no-op.
-        let mut flat =
-            TrsTree::build(TrsParams::default(), (0.0, 9.0), vec![(1.0, 1.0, Tid(0))]);
+        let mut flat = TrsTree::build(TrsParams::default(), (0.0, 9.0), vec![(1.0, 1.0, Tid(0))]);
         assert!(!flat.reorganize_first_level_subtree(0, &source));
     }
 

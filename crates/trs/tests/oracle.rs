@@ -1,0 +1,113 @@
+//! Oracle test: a TRS-Tree range lookup, interpreted the way Hermit's
+//! pipeline interprets it (host ranges probed against the host column, plus
+//! the outlier tids, both validated against the base table), must return
+//! **exactly** the tuple set a full scan returns — no false negatives ever,
+//! and no false positives after validation. Checked across several
+//! `TrsParams` configurations and correlation shapes.
+
+use hermit_storage::Tid;
+use hermit_trs::{TrsParams, TrsTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Base table: (m, n, tid) with the given correlation shape and ~4% wild
+/// outliers, from the workspace's deterministic RNG.
+fn table(shape: &str, n_rows: usize, seed: u64) -> Vec<(f64, f64, Tid)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_rows)
+        .map(|i| {
+            let m = rng.gen_range(0.0f64..1000.0);
+            let base = match shape {
+                "linear" => 3.0 * m + 42.0,
+                "quadratic" => m * m / 50.0,
+                _ => 1.0e4 / (1.0 + (-(m - 500.0) / 50.0).exp()), // sigmoid
+            };
+            let n = if rng.gen_bool(0.04) {
+                base + 5.0e5 * (1.0 + rng.gen_range(0.0..1.0))
+            } else {
+                base
+            };
+            (m, n, Tid(i as u64))
+        })
+        .collect()
+}
+
+/// The oracle: answer the predicate `m ∈ [qlb, qub]` through the TRS-Tree
+/// exactly as the Hermit pipeline would, then compare against a full scan.
+fn check_exactness(params: TrsParams, data: &[(f64, f64, Tid)], qlb: f64, qub: f64) {
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| (acc.0.min(p.0), acc.1.max(p.0)));
+    let tree = TrsTree::build(params, (lo, hi), data.to_vec());
+    tree.check_invariants().expect("tree invariants");
+
+    let result = tree.lookup(qlb, qub);
+
+    // Phase 2 stand-in: "probe the host index" — every tuple whose host
+    // value n falls in a returned range is a candidate — plus the outliers.
+    let mut candidates: BTreeSet<u64> = result.tids.iter().map(|t| t.0).collect();
+    for &(_, n, tid) in data {
+        if result.ranges.iter().any(|&(a, b)| n >= a && n <= b) {
+            candidates.insert(tid.0);
+        }
+    }
+    // Phase 3: validate candidates against the base table.
+    let validated: BTreeSet<u64> = candidates
+        .into_iter()
+        .filter(|&t| {
+            let (m, _, _) = data[t as usize];
+            m >= qlb && m <= qub
+        })
+        .collect();
+
+    // Oracle: a full scan of the base table.
+    let expected: BTreeSet<u64> =
+        data.iter().filter(|&&(m, _, _)| m >= qlb && m <= qub).map(|&(_, _, t)| t.0).collect();
+
+    assert_eq!(
+        validated, expected,
+        "validated TRS-Tree answer diverged from full scan for [{qlb}, {qub}]"
+    );
+}
+
+fn param_grid() -> Vec<TrsParams> {
+    vec![
+        TrsParams::default(),
+        TrsParams { node_fanout: 2, max_height: 4, ..TrsParams::default() },
+        TrsParams { node_fanout: 16, max_height: 3, ..TrsParams::default() },
+        TrsParams { outlier_ratio: 0.01, error_bound: 0.5, ..TrsParams::default() },
+        TrsParams { error_bound: 8.0, ..TrsParams::default() },
+        TrsParams::default().with_sampling(),
+    ]
+}
+
+#[test]
+fn range_lookup_matches_full_scan_across_configs() {
+    for shape in ["linear", "quadratic", "sigmoid"] {
+        let data = table(shape, 3_000, 0xB10C_BEEF);
+        for (pi, params) in param_grid().into_iter().enumerate() {
+            params.validate().unwrap_or_else(|e| panic!("config {pi} invalid: {e}"));
+            for (qlb, qub) in
+                [(0.0, 1000.0), (100.0, 250.0), (499.5, 500.5), (990.0, 1100.0), (-50.0, -1.0)]
+            {
+                check_exactness(params, &data, qlb, qub);
+            }
+        }
+    }
+}
+
+#[test]
+fn point_lookup_matches_full_scan() {
+    let data = table("sigmoid", 2_000, 0xFACE_FEED);
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| (acc.0.min(p.0), acc.1.max(p.0)));
+    let tree = TrsTree::build(TrsParams::default(), (lo, hi), data.clone());
+    // Every stored m must be reachable through its own point lookup.
+    for &(m, n, tid) in data.iter().step_by(7) {
+        let r = tree.lookup_point(m);
+        let reachable = r.tids.contains(&tid) || r.ranges.iter().any(|&(a, b)| n >= a && n <= b);
+        assert!(reachable, "tuple (m={m}, n={n}, tid={}) unreachable via point lookup", tid.0);
+    }
+}

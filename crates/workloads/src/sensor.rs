@@ -55,9 +55,13 @@ impl SensorConfig {
 /// Sensor `i`'s response to concentration `x ∈ [0, 10]`: a saturating
 /// power-law with per-sensor gain and exponent — monotone, non-linear,
 /// different per sensor.
+///
+/// Monotonicity requires `e + (e−1)·s·x/20 > 0` over the domain; with the
+/// constants below that holds for every sensor index up to 55 (the paper
+/// uses 16). `build_sensor` validates the config once up front.
 fn response(sensor: usize, x: f64) -> f64 {
     let gain = 50.0 + 20.0 * sensor as f64;
-    let exponent = 0.6 + 0.08 * (sensor % 7) as f64;
+    let exponent = 0.5 + 0.12 * (sensor % 7) as f64;
     let saturation = 1.0 + 0.02 * sensor as f64;
     gain * x.powf(exponent) / (1.0 + saturation * x / 20.0)
 }
@@ -65,6 +69,7 @@ fn response(sensor: usize, x: f64) -> f64 {
 /// Generate the Sensor table with primary index on `TIME` and a baseline
 /// index on the average column.
 pub fn build_sensor(config: &SensorConfig, scheme: TidScheme) -> Database {
+    assert!(config.sensors < 56, "response() is only monotone for sensor indices < 56");
     let mut defs = Vec::with_capacity(config.width());
     defs.push(ColumnDef::int("time"));
     for i in 0..config.sensors {
@@ -79,14 +84,14 @@ pub fn build_sensor(config: &SensorConfig, scheme: TidScheme) -> Database {
     let mut concentration: f64 = rng.gen_range(1.0..9.0);
     let mut row: Vec<Value> = Vec::with_capacity(config.width());
     for t in 0..config.tuples {
-        concentration =
-            (concentration + rng.gen_range(-0.05..0.05)).clamp(0.05, 10.0);
+        concentration = (concentration + rng.gen_range(-0.05..0.05)).clamp(0.05, 10.0);
         row.clear();
         row.push(Value::Int(t as i64));
         let mut sum = 0.0;
         for i in 0..config.sensors {
             let clean = response(i, concentration);
-            let reading = clean * (1.0 + rng.gen_range(-config.noise_amplitude..=config.noise_amplitude));
+            let reading =
+                clean * (1.0 + rng.gen_range(-config.noise_amplitude..=config.noise_amplitude));
             sum += reading;
             row.push(Value::Float(reading));
         }

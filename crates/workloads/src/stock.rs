@@ -200,17 +200,12 @@ mod tests {
         let stats = table.stats(cfg.high_col(0)).unwrap().clone();
         let (lo, hi) = stats.range().unwrap();
         let mid = (lo + hi) / 2.0;
-        let r = db.lookup_range(
-            RangePredicate::range(cfg.high_col(0), mid * 0.9, mid * 1.1),
-            None,
-        );
+        let r = db.lookup_range(RangePredicate::range(cfg.high_col(0), mid * 0.9, mid * 1.1), None);
         // Exactness check against a scan.
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
         let col = table.column(cfg.high_col(0)).unwrap();
         let expected = (0..table.total_rows())
-            .filter(|&i| {
-                col.get_f64(i).is_some_and(|v| v >= mid * 0.9 && v <= mid * 1.1)
-            })
+            .filter(|&i| col.get_f64(i).is_some_and(|v| v >= mid * 0.9 && v <= mid * 1.1))
             .count();
         assert_eq!(r.rows.len(), expected, "Hermit must return exactly the scan's rows");
     }

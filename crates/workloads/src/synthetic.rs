@@ -169,14 +169,14 @@ mod tests {
     fn linear_correlation_holds_for_non_noise() {
         let cfg = SyntheticConfig { tuples: 2_000, noise_fraction: 0.0, ..Default::default() };
         let db = build_synthetic(&cfg, TidScheme::Physical);
-        let Heap = db.heap();
+        let heap = db.heap();
         let mut checked = 0;
-        for loc in match Heap {
+        for loc in match heap {
             hermit_core::Heap::Mem(t) => t.scan().collect::<Vec<_>>(),
             _ => unreachable!(),
         } {
-            let b = Heap.value_f64(loc, cols::COL_B).unwrap().unwrap();
-            let c = Heap.value_f64(loc, cols::COL_C).unwrap().unwrap();
+            let b = heap.value_f64(loc, cols::COL_B).unwrap().unwrap();
+            let c = heap.value_f64(loc, cols::COL_C).unwrap().unwrap();
             assert!((b - (2.0 * c + 3.0)).abs() < 1e-9);
             checked += 1;
         }
@@ -199,11 +199,7 @@ mod tests {
 
     #[test]
     fn noise_fraction_roughly_respected() {
-        let cfg = SyntheticConfig {
-            tuples: 20_000,
-            noise_fraction: 0.05,
-            ..Default::default()
-        };
+        let cfg = SyntheticConfig { tuples: 20_000, noise_fraction: 0.05, ..Default::default() };
         let db = build_synthetic(&cfg, TidScheme::Physical);
         let heap = db.heap();
         let mut noisy = 0;
@@ -218,11 +214,7 @@ mod tests {
             }
         }
         let frac = noisy as f64 / 20_000.0;
-        assert!(
-            (0.03..=0.07).contains(&frac),
-            "expected ~5% noise, got {:.1}%",
-            frac * 100.0
-        );
+        assert!((0.03..=0.07).contains(&frac), "expected ~5% noise, got {:.1}%", frac * 100.0);
     }
 
     #[test]
@@ -252,11 +244,7 @@ mod tests {
         db.create_hermit_index(cols::COL_C, cols::COL_B).unwrap();
         let r = db.lookup_range(RangePredicate::range(cols::COL_C, 1_000.0, 1_200.0), None);
         // colC is uniform over [0, 20000): expect ≈ 200 rows (1% selectivity).
-        assert!(
-            (150..=260).contains(&r.rows.len()),
-            "expected ≈200 rows, got {}",
-            r.rows.len()
-        );
+        assert!((150..=260).contains(&r.rows.len()), "expected ≈200 rows, got {}", r.rows.len());
         // Exactness: every returned row satisfies the predicate.
         for &loc in &r.rows {
             let c = db.heap().value_f64(loc, cols::COL_C).unwrap().unwrap();

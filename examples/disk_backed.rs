@@ -33,12 +33,8 @@ fn main() {
     println!("loading 200k rows into slotted pages…");
     for i in 0..200_000i64 {
         let reading = (i % 50_021) as f64 * 0.13;
-        db.insert(&[
-            Value::Int(i),
-            Value::Float(reading),
-            Value::Float(1.25 * reading - 2.0),
-        ])
-        .unwrap();
+        db.insert(&[Value::Int(i), Value::Float(reading), Value::Float(1.25 * reading - 2.0)])
+            .unwrap();
     }
     let hermit::core::Heap::Paged(t) = db.heap() else { unreachable!() };
     println!("heap: {} pages, pool capacity {} pages", t.page_count(), pool.capacity());

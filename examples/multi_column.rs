@@ -44,13 +44,8 @@ fn main() {
         spread = 0.95 * spread + 0.3 * ((t as f64 * 1.3).cos());
         let sp = dj / 8.0 + spread * 3.0;
         let vol = 1.0e6 + (t % 1000) as f64 * 500.0;
-        db.insert(&[
-            Value::Int(t as i64),
-            Value::Float(dj),
-            Value::Float(sp),
-            Value::Float(vol),
-        ])
-        .unwrap();
+        db.insert(&[Value::Int(t as i64), Value::Float(dj), Value::Float(sp), Value::Float(vol)])
+            .unwrap();
     }
 
     // Correlation check a DBA would run before recommending Hermit.

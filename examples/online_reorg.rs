@@ -34,7 +34,12 @@ fn main() {
         pairs,
     )));
     let s = tree.stats();
-    println!("initial tree: {} leaves, {} outliers, {:.1} KB", s.leaves, s.outliers, s.memory_bytes as f64 / 1024.0);
+    println!(
+        "initial tree: {} leaves, {} outliers, {:.1} KB",
+        s.leaves,
+        s.outliers,
+        s.memory_bytes as f64 / 1024.0
+    );
 
     // Regime 2: a third of the domain shifts to host = 5·target + 1000.
     // Every insert in that region misses the old model and lands in
@@ -52,7 +57,11 @@ fn main() {
         tree.insert(m, nv, tid);
     }
     let s = tree.stats();
-    println!("after shift: {} outliers buffered, {:.1} KB", s.outliers, s.memory_bytes as f64 / 1024.0);
+    println!(
+        "after shift: {} outliers buffered, {:.1} KB",
+        s.outliers,
+        s.memory_bytes as f64 / 1024.0
+    );
 
     // Background reorganization with concurrent readers and writers
     // (Appendix B's flag + side-buffer protocol).

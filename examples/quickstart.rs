@@ -59,8 +59,9 @@ fn main() {
     // Verify against a full scan.
     let hermit::core::Heap::Mem(table) = db.heap() else { unreachable!() };
     let col = table.column(2).unwrap();
-    let expected =
-        (0..table.total_rows()).filter(|&i| col.get_f64(i).is_some_and(|v| (500.0..=520.0).contains(&v))).count();
+    let expected = (0..table.total_rows())
+        .filter(|&i| col.get_f64(i).is_some_and(|v| (500.0..=520.0).contains(&v)))
+        .count();
     assert_eq!(result.rows.len(), expected, "Hermit must return exactly the scan's rows");
     println!("verified against a sequential scan ✓");
 }

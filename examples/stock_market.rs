@@ -13,8 +13,14 @@ use hermit::trs::TrsTree;
 use hermit::workloads::{build_stock, StockConfig};
 
 fn main() {
-    let cfg = StockConfig { stocks: 20, days: 10_000, jump_probability: 0.003, ..Default::default() };
-    println!("building {} stocks × {} trading days ({} columns)…", cfg.stocks, cfg.days, cfg.width());
+    let cfg =
+        StockConfig { stocks: 20, days: 10_000, jump_probability: 0.003, ..Default::default() };
+    println!(
+        "building {} stocks × {} trading days ({} columns)…",
+        cfg.stocks,
+        cfg.days,
+        cfg.width()
+    );
     let mut db = build_stock(&cfg, TidScheme::Physical);
 
     // The DBA has indexes on every *low* column. Queries keep arriving on

@@ -1,0 +1,239 @@
+//! Test-runner plumbing: config, RNG, failure type, and the `proptest!` /
+//! `prop_assert*` macros.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Per-`proptest!` configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// RNG handed to strategies. Seeded from the test name (and an optional
+/// `PROPTEST_SEED` env var override) so runs are deterministic yet each
+/// test gets a distinct stream.
+pub struct TestRng {
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        // FNV-1a: stable across Rust versions, unlike std's DefaultHasher,
+        // so a failing case reproduces on any toolchain.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(base ^ h) }
+    }
+
+    pub fn next_raw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Failure raised by `prop_assert!` and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Upstream distinguishes rejects from failures; the shim treats both
+    /// as failures.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Define deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn holds(x in 0u64..100, ys in proptest::collection::vec(0i64..9, 1..5)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(config = $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+))
+            );
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: u64) -> Result<(), TestCaseError> {
+        prop_assert!(x < 1_000, "x out of range: {}", x);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u64..1000, (a, b) in (0.0f64..1.0, -5i32..5)) {
+            prop_assert!(x < 1000);
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            helper(x)?;
+        }
+
+        #[test]
+        fn vec_and_option_and_oneof(
+            mut xs in crate::collection::vec(0u8..10, 3..8),
+            o in crate::option::of(1i64..100),
+            tag in prop_oneof![Just(0u8), Just(1u8), (2u8..4).prop_map(|x| x)],
+        ) {
+            xs.sort_unstable();
+            prop_assert!(xs.len() >= 3 && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            if let Some(v) = o {
+                prop_assert!((1..100).contains(&v));
+            }
+            prop_assert!(tag < 4);
+        }
+
+        #[test]
+        fn any_values_are_finite_floats(f in any::<f64>(), _i in any::<i64>()) {
+            prop_assert!(f.is_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_between_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1_000_000, 5..6);
+        let mut r1 = crate::test_runner::TestRng::from_name("fixed");
+        let mut r2 = crate::test_runner::TestRng::from_name("fixed");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -149,8 +149,8 @@ fn delete_heavy_workload_with_reorg() {
     .unwrap();
 
     // Tails still answer correctly after the dust settles.
-    for m in [-8.0, -5.0, 5.0, 8.0] {
-        let truth = 1000.0 / (1.0 + (-m as f64).exp());
+    for m in [-8.0f64, -5.0, 5.0, 8.0] {
+        let truth = 1000.0 / (1.0 + (-m).exp());
         let r = tree.lookup_point(m);
         assert!(
             r.ranges.iter().any(|(lo, hi)| truth >= *lo && truth <= *hi),

@@ -2,11 +2,11 @@
 //! pipeline against ground truth on every workload, both tuple-identifier
 //! schemes, both storage substrates, and through distribution shifts.
 
-use hermit::core::{Database, DiscoveryConfig, Heap, RangePredicate, SecondaryIndex};
 use hermit::core::database::TablePairSource;
-use hermit::trs::PairSource;
+use hermit::core::{Database, DiscoveryConfig, Heap, RangePredicate, SecondaryIndex};
 use hermit::storage::paged::{BufferPool, PagedTable, SimulatedPageStore};
 use hermit::storage::{ColumnDef, Schema, TidScheme, Value};
+use hermit::trs::PairSource;
 use hermit::trs::TrsParams;
 use hermit::workloads::synthetic::cols;
 use hermit::workloads::{
@@ -16,7 +16,13 @@ use hermit::workloads::{
 use std::sync::Arc;
 
 /// Ground truth by sequential scan over the in-memory heap.
-fn scan_count(db: &Database, col: usize, lb: f64, ub: f64, extra: Option<(usize, f64, f64)>) -> usize {
+fn scan_count(
+    db: &Database,
+    col: usize,
+    lb: f64,
+    ub: f64,
+    extra: Option<(usize, f64, f64)>,
+) -> usize {
     let Heap::Mem(table) = db.heap() else { unreachable!("mem heap expected") };
     let c = table.column(col).unwrap();
     table
@@ -126,13 +132,8 @@ fn inserts_deletes_stay_consistent() {
     for i in 0..2_000i64 {
         let c = 500.0 + i as f64 * 0.25;
         let b = if i % 10 == 0 { -9.9e7 } else { cfg.correlate(c) };
-        db.insert(&[
-            Value::Int(10_000 + i),
-            Value::Float(b),
-            Value::Float(c),
-            Value::Float(0.0),
-        ])
-        .unwrap();
+        db.insert(&[Value::Int(10_000 + i), Value::Float(b), Value::Float(c), Value::Float(0.0)])
+            .unwrap();
     }
     // Delete a slice of original rows.
     for pk in 100..200 {
@@ -253,8 +254,7 @@ fn memory_claim_holds_across_workloads() {
     hermit.create_hermit_index(cols::COL_C, cols::COL_B).unwrap();
     let mut baseline = build_synthetic(&cfg, TidScheme::Physical);
     baseline.create_baseline_index(cols::COL_C, false).unwrap();
-    let (h, b) =
-        (hermit.memory_report().new_indexes, baseline.memory_report().new_indexes);
+    let (h, b) = (hermit.memory_report().new_indexes, baseline.memory_report().new_indexes);
     assert!(h * 5 < b, "synthetic: hermit {h} vs baseline {b}");
 
     let cfg = SensorConfig { tuples: 20_000, ..Default::default() };
@@ -264,8 +264,7 @@ fn memory_claim_holds_across_workloads() {
         hermit.create_hermit_index(cfg.sensor_col(i), cfg.avg_col()).unwrap();
         baseline.create_baseline_index(cfg.sensor_col(i), false).unwrap();
     }
-    let (h, b) =
-        (hermit.memory_report().new_indexes, baseline.memory_report().new_indexes);
+    let (h, b) = (hermit.memory_report().new_indexes, baseline.memory_report().new_indexes);
     assert!(h * 5 < b, "sensor: hermit {h} vs baseline {b}");
 }
 

@@ -9,10 +9,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn schema() -> Schema {
-    Schema::new(vec![
-        ColumnDef::int("pk"),
-        ColumnDef::float_null("a"),
-    ])
+    Schema::new(vec![ColumnDef::int("pk"), ColumnDef::float_null("a")])
 }
 
 #[derive(Debug, Clone)]
