@@ -1,0 +1,189 @@
+//! Release-mode bench smoke: scalar vs batched lookup throughput.
+//!
+//! Runs the paper's `lookup` experiment workload through both executor
+//! paths on both storage substrates and writes the results to
+//! `BENCH_lookup.json`, so CI has a cheap guard against the batched
+//! pipeline bit-rotting (and a recorded scalar-vs-batched ratio per run).
+//!
+//! ```text
+//! bench_smoke [--rows N] [--out PATH]
+//! ```
+//!
+//! The paged substrate uses a zero-latency simulated store with a pool
+//! large enough to keep every page hot: what remains is exactly the
+//! per-access buffer-pool overhead (lock + frame lookup + copy) that the
+//! page-grouped batch path amortizes — the §7.8 regime with the device
+//! taken out of the equation.
+
+use hermit_bench::harness::measure_ops_with;
+use hermit_core::{BatchOptions, Database, RangePredicate};
+use hermit_storage::paged::{BufferPool, PagedTable, SimulatedPageStore};
+use hermit_storage::{ColumnDef, Schema, TidScheme, Value};
+use hermit_workloads::synthetic::cols;
+use hermit_workloads::{build_synthetic, CorrelationKind, QueryGen, SyntheticConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const RANGE_SELECTIVITY: f64 = 0.001;
+const RANGE_QUERIES: usize = 256;
+const POINT_QUERIES: usize = 512;
+const BUDGET: Duration = Duration::from_millis(400);
+
+struct Variant {
+    name: &'static str,
+    queries_per_sec: f64,
+}
+
+/// Throughputs (queries/second) for one workload on one database.
+fn run_workload(db: &Database, preds: &[RangePredicate]) -> Vec<Variant> {
+    let scalar = measure_ops_with(BUDGET, 4, 1_000_000, |i| {
+        std::hint::black_box(db.lookup_range(preds[i % preds.len()], None).rows.len());
+    });
+    let batched = measure_ops_with(BUDGET, 2, 100_000, |_| {
+        std::hint::black_box(db.lookup_batch(preds).len());
+    }) * preds.len() as f64;
+    let opts = BatchOptions::with_threads(4);
+    let batched_mt = measure_ops_with(BUDGET, 2, 100_000, |_| {
+        std::hint::black_box(db.lookup_batch_with(preds, None, &opts).len());
+    }) * preds.len() as f64;
+    vec![
+        Variant { name: "scalar", queries_per_sec: scalar },
+        Variant { name: "batched", queries_per_sec: batched },
+        Variant { name: "batched_mt4", queries_per_sec: batched_mt },
+    ]
+}
+
+/// Paged synthetic database: pk / host / target with host = 2·target,
+/// every page resident in a sharded hot pool.
+fn build_paged(rows: usize) -> Database {
+    let schema = Schema::new(vec![
+        ColumnDef::int("pk"),
+        ColumnDef::float("host"),
+        ColumnDef::float("target"),
+    ]);
+    // 27-byte records ≈ 290 rows/page; size the pool ~2× the heap so the
+    // only cost left is pool access overhead, not misses.
+    let pages = (rows / 250 + 16).next_power_of_two();
+    let store = Arc::new(SimulatedPageStore::new());
+    let pool = Arc::new(BufferPool::new_sharded(store, pages, 8));
+    let table = PagedTable::new(schema, pool);
+    let mut db = Database::new_paged(table, 0);
+    for i in 0..rows {
+        let m = i as f64;
+        db.insert(&[Value::Int(i as i64), Value::Float(2.0 * m), Value::Float(m)]).unwrap();
+    }
+    db.create_baseline_index(1, true).unwrap();
+    db.create_hermit_index(2, 1).unwrap();
+    db
+}
+
+fn preds_for(
+    domain: (f64, f64),
+    target_col: usize,
+    seed: u64,
+) -> (Vec<RangePredicate>, Vec<RangePredicate>) {
+    let mut gen = QueryGen::new(domain, seed);
+    let ranges = gen
+        .ranges(RANGE_SELECTIVITY, RANGE_QUERIES)
+        .into_iter()
+        .map(|(lb, ub)| RangePredicate::range(target_col, lb, ub))
+        .collect();
+    let points = gen
+        .points(POINT_QUERIES)
+        .into_iter()
+        .map(|p| RangePredicate::point(target_col, p))
+        .collect();
+    (ranges, points)
+}
+
+fn json_variants(variants: &[Variant]) -> String {
+    let fields: Vec<String> =
+        variants.iter().map(|v| format!("\"{}\": {:.1}", v.name, v.queries_per_sec)).collect();
+    let scalar = variants[0].queries_per_sec;
+    let batched = variants[1].queries_per_sec;
+    format!("{{{}, \"speedup_batched\": {:.2}}}", fields.join(", "), batched / scalar)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows = 100_000usize;
+    let mut out = "BENCH_lookup.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                i += 1;
+                rows = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--rows needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_smoke [--rows N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // In-memory substrate: the standard synthetic lookup workload.
+    let cfg = SyntheticConfig {
+        tuples: rows,
+        correlation: CorrelationKind::Linear,
+        ..Default::default()
+    };
+    let mut mem = build_synthetic(&cfg, TidScheme::Physical);
+    mem.create_hermit_index(cols::COL_C, cols::COL_B).unwrap();
+    let (mem_ranges, mem_points) = preds_for(cfg.target_domain(), cols::COL_C, 0x5E0C);
+
+    // Paged substrate: same shape, hot sharded pool.
+    let paged = build_paged(rows);
+    let (paged_ranges, paged_points) = preds_for((0.0, (rows - 1) as f64), 2, 0x5E0D);
+
+    let mut sections = Vec::new();
+    let mut headline: f64 = 0.0;
+    for (substrate, db, ranges, points) in
+        [("mem", &mem, &mem_ranges, &mem_points), ("paged", &paged, &paged_ranges, &paged_points)]
+    {
+        let range_v = run_workload(db, ranges);
+        let point_v = run_workload(db, points);
+        for (workload, v) in [("range", &range_v), ("point", &point_v)] {
+            let speedup = v[1].queries_per_sec / v[0].queries_per_sec;
+            println!(
+                "{substrate:<6} {workload:<6} scalar {:>12.0} q/s   batched {:>12.0} q/s   mt4 {:>12.0} q/s   speedup {:.2}x",
+                v[0].queries_per_sec, v[1].queries_per_sec, v[2].queries_per_sec, speedup
+            );
+        }
+        // The headline is the lookup experiment's primary workload — range
+        // lookups (Figs. 8–9) — on the paged substrate, where validation is
+        // page accesses and page-grouped fetching is the point. Point
+        // lookups (one candidate ≈ one page access either way) are
+        // recorded but can only gain from scratch reuse.
+        if substrate == "paged" {
+            headline = range_v[1].queries_per_sec / range_v[0].queries_per_sec;
+        }
+        sections.push(format!(
+            "    \"{substrate}\": {{\"range\": {}, \"point\": {}}}",
+            json_variants(&range_v),
+            json_variants(&point_v)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
+        sections.join(",\n"),
+        headline
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out} (paged range batched speedup: {headline:.2}x)");
+}

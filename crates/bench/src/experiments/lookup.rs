@@ -3,7 +3,7 @@
 //! breakdowns (Figs. 14–15).
 
 use crate::harness::{self, measure_ops, Scale};
-use hermit_core::{Database, LookupBreakdown, RangePredicate};
+use hermit_core::{BatchOptions, Database, LookupBreakdown, RangePredicate};
 use hermit_storage::TidScheme;
 use hermit_workloads::synthetic::cols;
 use hermit_workloads::{build_synthetic, CorrelationKind, QueryGen, SyntheticConfig};
@@ -54,6 +54,48 @@ pub fn fig08_09_synth_range(scale: Scale, sigmoid: bool) {
                 ("hermit", harness::fmt_ops(h)),
                 ("baseline", harness::fmt_ops(b)),
                 ("hermit/baseline", format!("{:.2}", h / b)),
+            ]);
+        }
+    }
+}
+
+/// `batched`: scalar vs batched vs parallel-batched executor throughput on
+/// the synthetic range workload. The batched path is the tentpole's
+/// vectorized pipeline (`Database::lookup_batch`): reused TRS/candidate
+/// scratch across queries plus page-ordered base-table validation, with the
+/// scalar executor kept as the oracle.
+pub fn batched_exec(scale: Scale) {
+    harness::section("batched", "Batched vs scalar lookup throughput (Synthetic-Linear)");
+    let cfg = synth_cfg(scale, false, 200_000);
+    for scheme in [TidScheme::Logical, TidScheme::Physical] {
+        let (hermit, _baseline) = build_pair(&cfg, scheme);
+        for &sel in &[0.0001, 0.001] {
+            let mut gen = QueryGen::new(cfg.target_domain(), 0xF1B47);
+            let preds: Vec<RangePredicate> = gen
+                .ranges(sel, 256)
+                .into_iter()
+                .map(|(lb, ub)| RangePredicate::range(cols::COL_C, lb, ub))
+                .collect();
+            let scalar = measure_ops(|i| {
+                let r = hermit.lookup_range(preds[i % preds.len()], None);
+                std::hint::black_box(r.rows.len());
+            });
+            // One batched op = the whole 256-query batch; convert back to
+            // queries/second for an apples-to-apples row.
+            let batched = measure_ops(|_| {
+                std::hint::black_box(hermit.lookup_batch(&preds).len());
+            }) * preds.len() as f64;
+            let opts = BatchOptions::with_threads(4);
+            let batched_mt = measure_ops(|_| {
+                std::hint::black_box(hermit.lookup_batch_with(&preds, None, &opts).len());
+            }) * preds.len() as f64;
+            harness::row(&[
+                ("scheme", scheme.label().into()),
+                ("selectivity", format!("{:.3}%", sel * 100.0)),
+                ("scalar", harness::fmt_ops(scalar)),
+                ("batched", harness::fmt_ops(batched)),
+                ("batched_mt4", harness::fmt_ops(batched_mt)),
+                ("batched/scalar", format!("{:.2}", batched / scalar)),
             ]);
         }
     }

@@ -180,17 +180,47 @@ impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
         }
     }
 
+    /// Visit every value stored under `key` without allocating.
+    ///
+    /// This is the point-probe hot path: where [`Self::get`] materializes a
+    /// `Vec<V>` per call, `for_each_eq` walks the duplicate run in place
+    /// (crossing leaf boundaries as needed) and hands each value to `f`.
+    pub fn for_each_eq(&self, key: &K, mut f: impl FnMut(&V)) {
+        let mut leaf_id = self.find_leaf(key);
+        loop {
+            let Node::Leaf { keys, values, next } = &self.arena[leaf_id as usize] else {
+                unreachable!()
+            };
+            let start = keys.partition_point(|k| k < key);
+            for i in start..keys.len() {
+                if keys[i] != *key {
+                    return;
+                }
+                f(&values[i]);
+            }
+            // The run may continue into the next leaf (long duplicate runs
+            // span leaves; lazy deletion can also leave empty leaves).
+            if *next == NIL {
+                return;
+            }
+            leaf_id = *next;
+        }
+    }
+
     /// All values stored under `key`, in insertion-adjacent order.
+    ///
+    /// Allocates a fresh `Vec` per call; executors should prefer
+    /// [`Self::for_each_eq`].
     pub fn get(&self, key: &K) -> Vec<V> {
         let mut out = Vec::new();
-        self.for_each_in_range(key, key, |_, v| out.push(v.clone()));
+        self.for_each_eq(key, |v| out.push(v.clone()));
         out
     }
 
     /// True if at least one entry with `key` exists.
     pub fn contains_key(&self, key: &K) -> bool {
         let mut found = false;
-        self.for_each_in_range(key, key, |_, _| found = true);
+        self.for_each_eq(key, |_| found = true);
         found
     }
 
@@ -481,6 +511,30 @@ mod tests {
         let all: Vec<u64> = t.range(0, 999).map(|(k, _)| *k).collect();
         assert_eq!(all.len(), 1000);
         assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn for_each_eq_matches_get_across_leaf_spans() {
+        let mut t = BPlusTree::new();
+        for i in 0..200u64 {
+            t.insert(i, i);
+        }
+        for v in 0..300u64 {
+            t.insert(77, 10_000 + v); // duplicate run spanning several leaves
+        }
+        let mut visited = Vec::new();
+        t.for_each_eq(&77, |&v| visited.push(v));
+        // Independent oracle: the range scan (get() delegates to
+        // for_each_eq, so comparing against it would be circular).
+        let mut oracle = Vec::new();
+        t.for_each_in_range(&77, &77, |_, &v| oracle.push(v));
+        assert_eq!(visited, oracle);
+        assert_eq!(visited.len(), 301);
+        // Absent keys visit nothing, including past-the-end ones.
+        let mut n = 0;
+        t.for_each_eq(&999, |_| n += 1);
+        t.for_each_eq(&1_000_000, |_| n += 1);
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Batched, page-locality-aware query execution.
+//!
+//! [`Database::lookup_batch`] runs many range/point predicates through the
+//! same four-phase pipeline as [`Database::lookup_range`], but amortizes
+//! everything the scalar path pays per query:
+//!
+//! * **TRS traversal scratch** — the BFS queue and the approximate-result
+//!   buffers ([`hermit_trs::LookupScratch`] / [`hermit_trs::TrsLookup`])
+//!   are reused across predicates instead of allocated per lookup.
+//! * **Candidate buffers** — the tid and row-location vectors grow once and
+//!   are recycled for every subsequent predicate.
+//! * **Base-table locality** — validation fetches candidates *in page
+//!   order* through [`Heap::for_each_row_batch`]: each heap page is pinned
+//!   once per query and every candidate on it is validated under that
+//!   single buffer-pool access, instead of one pool lock + frame lookup per
+//!   value.
+//! * **Point probes** — exact-match predicates probe the B+-tree with the
+//!   allocation-free [`hermit_btree::BPlusTree::for_each_eq`].
+//!
+//! With [`BatchOptions::threads`] > 1 the predicates are partitioned across
+//! scoped worker threads (`crossbeam::thread::scope`), each with its own
+//! scratch, and the per-thread [`QueryResult`] partials are stitched back
+//! in input order — results are bit-identical to the sequential path.
+//!
+//! The scalar path stays as the oracle: `tests/batch_equivalence.rs` proves
+//! both paths return identical rows, false-positive and unresolved counts
+//! on every substrate and tid scheme.
+
+use crate::database::Database;
+use crate::executor::{QueryResult, RangePredicate};
+use crate::index::SecondaryIndex;
+use hermit_storage::{F64Key, RowLoc, Tid, TidScheme};
+use hermit_trs::{LookupScratch, TrsLookup};
+use std::time::Instant;
+
+/// Knobs for a batched lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Worker threads validating predicates in parallel. `1` (the default)
+    /// runs everything on the calling thread.
+    pub threads: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { threads: 1 }
+    }
+}
+
+impl BatchOptions {
+    /// Options with `threads` parallel workers.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchOptions { threads }
+    }
+}
+
+/// Reusable per-worker buffers for the batched pipeline. One instance
+/// serves any number of sequential [`Database::lookup_batch`] predicates;
+/// parallel workers each own one.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// TRS-Tree BFS queue (phase 1).
+    trs: LookupScratch,
+    /// TRS approximate result: host ranges + outlier tids (phase 1).
+    approx: TrsLookup,
+    /// Candidate tuple ids (phase 2).
+    candidates: Vec<Tid>,
+    /// Resolved row locations (phase 3).
+    locs: Vec<RowLoc>,
+    /// Page-sort permutation for locality-aware validation (phase 4).
+    order: Vec<u32>,
+}
+
+impl Database {
+    /// Execute a batch of range predicates with reused scratch buffers and
+    /// page-ordered base-table validation. Returns one [`QueryResult`] per
+    /// predicate, in input order, with the same row *set* and
+    /// false-positive/unresolved counts as running
+    /// [`lookup_range`](Self::lookup_range) on each. Within one result the
+    /// order of `rows` is unspecified: the paged substrate emits them in
+    /// page order (that is the point), the scalar path in candidate order.
+    pub fn lookup_batch(&self, preds: &[RangePredicate]) -> Vec<QueryResult> {
+        self.lookup_batch_with(preds, None, &BatchOptions::default())
+    }
+
+    /// [`lookup_batch`](Self::lookup_batch) with an optional shared `extra`
+    /// conjunct (validated at the base table, as in the Stock workload's
+    /// `TIME BETWEEN ? AND ?`) and explicit [`BatchOptions`].
+    pub fn lookup_batch_with(
+        &self,
+        preds: &[RangePredicate],
+        extra: Option<RangePredicate>,
+        opts: &BatchOptions,
+    ) -> Vec<QueryResult> {
+        let threads = opts.threads.clamp(1, preds.len().max(1));
+        if threads == 1 {
+            let mut scratch = BatchScratch::default();
+            return preds.iter().map(|&p| self.lookup_one(p, extra, &mut scratch)).collect();
+        }
+        // Partition the predicates into contiguous chunks, one worker each;
+        // chunk results concatenate back into input order.
+        let chunk = preds.len().div_ceil(threads);
+        let partials: Vec<Vec<QueryResult>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = preds
+                .chunks(chunk)
+                .map(|chunk_preds| {
+                    scope.spawn(move |_| {
+                        let mut scratch = BatchScratch::default();
+                        chunk_preds
+                            .iter()
+                            .map(|&p| self.lookup_one(p, extra, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+        })
+        .expect("scoped batch execution");
+        partials.into_iter().flatten().collect()
+    }
+
+    /// One predicate through the batched pipeline, reusing `scratch`.
+    fn lookup_one(
+        &self,
+        pred: RangePredicate,
+        extra: Option<RangePredicate>,
+        scratch: &mut BatchScratch,
+    ) -> QueryResult {
+        let mut result = QueryResult::default();
+        scratch.candidates.clear();
+        let validate_main = match self.index(pred.column) {
+            Some(SecondaryIndex::Hermit { trs, host }) => {
+                // Phase 1: TRS-Tree search into reused buffers.
+                let t0 = Instant::now();
+                trs.lookup_into(pred.lb, pred.ub, &mut scratch.trs, &mut scratch.approx);
+                result.breakdown.trs_tree += t0.elapsed();
+
+                // Phase 2: host-index probes over the translated ranges,
+                // unioned with the outlier tids (which bypass the host
+                // index entirely, §4.3).
+                let t1 = Instant::now();
+                let Some(SecondaryIndex::Baseline(host_tree)) = self.index(*host) else {
+                    // Host index dropped out from under us — no results.
+                    return result;
+                };
+                let candidates = &mut scratch.candidates;
+                candidates.extend_from_slice(&scratch.approx.tids);
+                let had_outliers = !candidates.is_empty();
+                for &(lo, hi) in &scratch.approx.ranges {
+                    if lo == hi {
+                        host_tree.for_each_eq(&F64Key(lo), |tid| candidates.push(*tid));
+                    } else {
+                        host_tree.for_each_in_range(&F64Key(lo), &F64Key(hi), |_, tid| {
+                            candidates.push(*tid)
+                        });
+                    }
+                }
+                // The unioned ranges are disjoint, so duplicates only arise
+                // between outlier tids and range results.
+                if had_outliers {
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                }
+                result.breakdown.host_index += t1.elapsed();
+                true
+            }
+            Some(SecondaryIndex::Baseline(tree)) => {
+                // Secondary-index search; point predicates take the
+                // allocation-free equality probe.
+                let t0 = Instant::now();
+                let candidates = &mut scratch.candidates;
+                if pred.lb == pred.ub {
+                    tree.for_each_eq(&F64Key(pred.lb), |tid| candidates.push(*tid));
+                } else {
+                    tree.for_each_in_range(&F64Key(pred.lb), &F64Key(pred.ub), |_, tid| {
+                        candidates.push(*tid)
+                    });
+                }
+                result.breakdown.host_index += t0.elapsed();
+                false
+            }
+            None => return result,
+        };
+
+        // Phase 3: primary-index resolution (logical scheme only).
+        scratch.locs.clear();
+        match self.scheme() {
+            TidScheme::Physical => {
+                scratch.locs.extend(scratch.candidates.iter().map(|t| t.as_loc()))
+            }
+            TidScheme::Logical => {
+                let t2 = Instant::now();
+                for tid in &scratch.candidates {
+                    match self.primary().get(tid.as_pk()) {
+                        Some(loc) => scratch.locs.push(loc),
+                        None => result.unresolved += 1,
+                    }
+                }
+                result.breakdown.primary_index += t2.elapsed();
+            }
+        }
+
+        // Phase 4: page-ordered base-table validation. Each heap page is
+        // pinned once; all of its candidates are validated under that one
+        // access, with both predicate columns read from the same row view.
+        let t3 = Instant::now();
+        let locs = &scratch.locs;
+        result.rows.reserve(locs.len());
+        self.heap().for_each_row_batch(locs, &mut scratch.order, |i, row| match row {
+            None => result.unresolved += 1,
+            Some(row) => {
+                let main_ok = !validate_main || pred.matches(row.f64(pred.column));
+                let extra_ok = extra.is_none_or(|e| e.matches(row.f64(e.column)));
+                if main_ok && extra_ok {
+                    result.rows.push(locs[i]);
+                } else {
+                    result.false_positives += 1;
+                }
+            }
+        });
+        result.breakdown.base_table += t3.elapsed();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermit_storage::{ColumnDef, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::int("pk"),
+            ColumnDef::float("host"),
+            ColumnDef::float("target"),
+            ColumnDef::float("other"),
+        ])
+    }
+
+    fn hermit_db(scheme: TidScheme, n: usize, noise_every: usize) -> Database {
+        let mut db = Database::new(schema(), 0, scheme);
+        for i in 0..n {
+            let m = i as f64;
+            let host = if noise_every > 0 && i % noise_every == 0 { -5.0e6 } else { 2.0 * m };
+            db.insert(&[
+                Value::Int(i as i64),
+                Value::Float(host),
+                Value::Float(m),
+                Value::Float(m * 10.0),
+            ])
+            .unwrap();
+        }
+        db.create_baseline_index(1, true).unwrap();
+        db.create_hermit_index(2, 1).unwrap();
+        db
+    }
+
+    fn sorted_rows(r: &QueryResult) -> Vec<RowLoc> {
+        let mut rows = r.rows.clone();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn assert_equivalent(scalar: &QueryResult, batched: &QueryResult, ctx: &str) {
+        assert_eq!(sorted_rows(scalar), sorted_rows(batched), "{ctx}: rows");
+        assert_eq!(scalar.false_positives, batched.false_positives, "{ctx}: false positives");
+        assert_eq!(scalar.unresolved, batched.unresolved, "{ctx}: unresolved");
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_hermit_ranges() {
+        for scheme in [TidScheme::Logical, TidScheme::Physical] {
+            let db = hermit_db(scheme, 10_000, 97);
+            let preds: Vec<RangePredicate> = [(0.0, 50.0), (500.5, 700.25), (9_990.0, 20_000.0)]
+                .iter()
+                .map(|&(lb, ub)| RangePredicate::range(2, lb, ub))
+                .collect();
+            let batched = db.lookup_batch(&preds);
+            assert_eq!(batched.len(), preds.len());
+            for (pred, b) in preds.iter().zip(&batched) {
+                let s = db.lookup_range(*pred, None);
+                assert_equivalent(&s, b, &format!("{scheme:?} [{}, {}]", pred.lb, pred.ub));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_point_probes_use_equality_path() {
+        let db = hermit_db(TidScheme::Physical, 5_000, 50);
+        let preds: Vec<RangePredicate> = [0.0, 50.0, 123.0, 4_950.0, 9_999.0]
+            .iter()
+            .map(|&v| RangePredicate::point(2, v))
+            .collect();
+        for (pred, b) in preds.iter().zip(db.lookup_batch(&preds)) {
+            let s = db.lookup_range(*pred, None);
+            assert_equivalent(&s, &b, &format!("point {}", pred.lb));
+        }
+    }
+
+    #[test]
+    fn parallel_batch_preserves_input_order() {
+        let db = hermit_db(TidScheme::Logical, 8_000, 0);
+        let preds: Vec<RangePredicate> = (0..64)
+            .map(|i| RangePredicate::range(2, i as f64 * 100.0, i as f64 * 100.0 + 49.0))
+            .collect();
+        let sequential = db.lookup_batch(&preds);
+        let parallel = db.lookup_batch_with(&preds, None, &BatchOptions::with_threads(4));
+        assert_eq!(sequential.len(), parallel.len());
+        for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_equivalent(s, p, &format!("pred {i}"));
+        }
+    }
+
+    #[test]
+    fn batch_on_unindexed_column_is_empty() {
+        let db = Database::new(schema(), 0, TidScheme::Physical);
+        let results = db.lookup_batch(&[RangePredicate::range(3, 0.0, 10.0)]);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].rows.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let db = hermit_db(TidScheme::Physical, 100, 0);
+        assert!(db.lookup_batch(&[]).is_empty());
+        assert!(db.lookup_batch_with(&[], None, &BatchOptions::with_threads(8)).is_empty());
+    }
+
+    #[test]
+    fn batch_with_extra_conjunct() {
+        let db = hermit_db(TidScheme::Physical, 10_000, 0);
+        // other = 10 * target; constrain other ∈ [1500, 1590] → target ∈ [150, 159].
+        let preds = [RangePredicate::range(2, 100.0, 199.0)];
+        let extra = Some(RangePredicate::range(3, 1_500.0, 1_590.0));
+        let b = &db.lookup_batch_with(&preds, extra, &BatchOptions::default())[0];
+        let s = db.lookup_range(preds[0], extra);
+        assert_equivalent(&s, b, "extra conjunct");
+        assert!(b.false_positives >= 90);
+    }
+}

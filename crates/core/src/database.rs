@@ -19,7 +19,8 @@ use crate::index::SecondaryIndex;
 use hermit_btree::{BPlusTree, HashPrimaryIndex};
 use hermit_storage::paged::PagedTable;
 use hermit_storage::{
-    ColumnId, ColumnStats, F64Key, RowLoc, Schema, StorageError, Table, Tid, TidScheme, Value,
+    ColumnId, ColumnStats, F64Key, RowLoc, RowRef, Schema, StorageError, Table, Tid, TidScheme,
+    Value,
 };
 use hermit_trs::{PairSource, TrsParams, TrsTree};
 use std::collections::BTreeMap;
@@ -67,6 +68,33 @@ impl Heap {
         match self {
             Heap::Mem(t) => t.value_f64(loc, cid),
             Heap::Paged(t) => t.value_f64(loc, cid),
+        }
+    }
+
+    /// Visit one row under a single heap access; every predicate column is
+    /// read from the same visit (one page pin on the paged substrate).
+    /// `None` for deleted/unresolvable rows.
+    pub fn with_row<T>(&self, loc: RowLoc, f: impl FnOnce(Option<RowRef<'_>>) -> T) -> T {
+        match self {
+            Heap::Mem(t) => t.with_row(loc, f),
+            Heap::Paged(t) => t.with_row(loc, f),
+        }
+    }
+
+    /// Batched row visitation for validation: on the paged substrate the
+    /// candidates are visited grouped by page (each page pinned once, sorted
+    /// through the reusable `order` buffer); the in-memory substrate visits
+    /// in input order. `f` gets each candidate's index into `locs` and its
+    /// row view, and must not re-enter the heap.
+    pub fn for_each_row_batch(
+        &self,
+        locs: &[RowLoc],
+        order: &mut Vec<u32>,
+        f: impl FnMut(usize, Option<RowRef<'_>>),
+    ) {
+        match self {
+            Heap::Mem(t) => t.for_each_row_batch(locs, f),
+            Heap::Paged(t) => t.for_each_row_batch(locs, order, f),
         }
     }
 

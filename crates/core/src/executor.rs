@@ -195,41 +195,26 @@ impl Database {
             }
         };
 
-        // Phase 4: base-table fetch + validation.
+        // Phase 4: base-table fetch + validation. One heap visit per
+        // candidate: both predicate columns are read from the same row
+        // view, so an `extra` conjunct no longer resolves the page twice.
         let t3 = Instant::now();
         for loc in locs {
-            let main_ok = if validate_main {
-                match self.heap().value_f64(loc, pred.column) {
-                    Ok(v) => pred.matches(v),
-                    Err(_) => {
-                        result.unresolved += 1;
-                        continue;
+            self.heap().with_row(loc, |row| match row {
+                None => result.unresolved += 1,
+                Some(row) => {
+                    // Baseline hits are exact on `pred` (the row is still
+                    // fetched — a real query returns tuples, not tids);
+                    // Hermit candidates re-check the original predicate.
+                    let main_ok = !validate_main || pred.matches(row.f64(pred.column));
+                    let extra_ok = extra.is_none_or(|e| e.matches(row.f64(e.column)));
+                    if main_ok && extra_ok {
+                        result.rows.push(loc);
+                    } else {
+                        result.false_positives += 1;
                     }
                 }
-            } else {
-                // Baseline: fetch the row to materialize it (cost parity
-                // with a real query), but the index already guaranteed the
-                // main predicate.
-                match self.heap().value_f64(loc, pred.column) {
-                    Ok(_) => true,
-                    Err(_) => {
-                        result.unresolved += 1;
-                        continue;
-                    }
-                }
-            };
-            let extra_ok = match extra {
-                None => true,
-                Some(e) => match self.heap().value_f64(loc, e.column) {
-                    Ok(v) => e.matches(v),
-                    Err(_) => false,
-                },
-            };
-            if main_ok && extra_ok {
-                result.rows.push(loc);
-            } else {
-                result.false_positives += 1;
-            }
+            });
         }
         result.breakdown.base_table += t3.elapsed();
     }

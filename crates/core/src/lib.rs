@@ -21,6 +21,7 @@
 //! screen candidate (target, host) pairs with Pearson/Spearman coefficients
 //! over a sample and recommend a host column whose index already exists.
 
+pub mod batch;
 pub mod breakdown;
 pub mod composite;
 pub mod correlation;
@@ -28,6 +29,7 @@ pub mod database;
 pub mod executor;
 pub mod index;
 
+pub use batch::BatchOptions;
 pub use breakdown::{InsertBreakdown, LookupBreakdown, Phase};
 pub use composite::{CompositeIndex, CompositeIndexes};
 pub use correlation::{discover_correlations, CorrelationReport, DiscoveryConfig};

@@ -1,0 +1,80 @@
+//! Batched, page-locality-aware row access shared by both heap substrates.
+//!
+//! The query executor's validation phase fetches one or two cells from many
+//! candidate rows. Doing that one `value_f64` call at a time costs a buffer
+//! pool lock + frame lookup *per cell* on the paged substrate; the batch
+//! APIs here ([`crate::paged::PagedTable::for_each_row_batch`],
+//! [`crate::Table::for_each_row_batch`]) instead visit candidates grouped
+//! by page, pinning each page once and handing the caller a borrowed
+//! [`RowRef`] from which any number of cells can be read for free.
+
+use crate::schema::ColumnId;
+use crate::table::Table;
+use crate::value::Value;
+
+/// A borrowed view of one live row, valid only inside a batch/`with_row`
+/// visitor callback.
+///
+/// Both substrates are represented: the in-memory columnar heap hands out
+/// `(table, row index)` pairs, the paged heap hands out the row's encoded
+/// bytes while its page is pinned.
+pub enum RowRef<'a> {
+    /// A row of the in-memory columnar [`Table`].
+    Columnar {
+        /// The table the row lives in.
+        table: &'a Table,
+        /// Dense row index within the table's columns.
+        idx: usize,
+    },
+    /// A serialized row of a paged heap (9 bytes per cell: tag + payload).
+    Encoded {
+        /// The row's record bytes, borrowed from the pinned page.
+        bytes: &'a [u8],
+    },
+}
+
+impl RowRef<'_> {
+    /// Numeric view of one cell (`None` for NULL or an out-of-range column).
+    #[inline]
+    pub fn f64(&self, cid: ColumnId) -> Option<f64> {
+        match self {
+            RowRef::Columnar { table, idx } => table.column(cid).ok().and_then(|c| c.get_f64(*idx)),
+            RowRef::Encoded { bytes } => crate::paged::heap::decode_cell_at(bytes, cid).as_f64(),
+        }
+    }
+
+    /// Full [`Value`] view of one cell (`Value::Null` for an out-of-range
+    /// column on the encoded representation).
+    #[inline]
+    pub fn value(&self, cid: ColumnId) -> Value {
+        match self {
+            RowRef::Columnar { table, idx } => {
+                table.column(cid).map(|c| c.get(*idx)).unwrap_or(Value::Null)
+            }
+            RowRef::Encoded { bytes } => crate::paged::heap::decode_cell_at(bytes, cid),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+
+    #[test]
+    fn columnar_rowref_reads_cells() {
+        let schema = Schema::new(vec![
+            ColumnDef::int("pk"),
+            ColumnDef::float("a"),
+            ColumnDef::float_null("b"),
+        ]);
+        let mut t = Table::new(schema);
+        t.insert(&[Value::Int(7), Value::Float(2.5), Value::Null]).unwrap();
+        let r = RowRef::Columnar { table: &t, idx: 0 };
+        assert_eq!(r.f64(0), Some(7.0));
+        assert_eq!(r.f64(1), Some(2.5));
+        assert_eq!(r.f64(2), None);
+        assert_eq!(r.f64(99), None, "out-of-range column reads as NULL");
+        assert_eq!(r.value(1), Value::Float(2.5));
+    }
+}

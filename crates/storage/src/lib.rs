@@ -19,6 +19,7 @@
 //! (block + offset row locations) and *logical pointers* (primary keys that
 //! must be resolved through a primary index).
 
+pub mod batch;
 pub mod column;
 pub mod error;
 pub mod paged;
@@ -28,6 +29,7 @@ pub mod table;
 pub mod tid;
 pub mod value;
 
+pub use batch::RowRef;
 pub use column::Column;
 pub use error::StorageError;
 pub use schema::{ColumnDef, ColumnId, ColumnType, Schema};

@@ -9,6 +9,7 @@
 
 use super::buffer_pool::BufferPool;
 use super::page::PageId;
+use crate::batch::RowRef;
 use crate::error::StorageError;
 use crate::schema::{ColumnId, Schema};
 use crate::stats::ColumnStats;
@@ -59,6 +60,17 @@ fn decode_cell(bytes: &[u8]) -> Value {
 
 fn decode_row(bytes: &[u8], width: usize) -> Vec<Value> {
     (0..width).map(|c| decode_cell(&bytes[c * CELL_BYTES..])).collect()
+}
+
+/// Decode one cell of an encoded row, treating out-of-range columns as NULL
+/// (used by [`crate::batch::RowRef`]).
+#[inline]
+pub(crate) fn decode_cell_at(bytes: &[u8], cid: usize) -> Value {
+    let start = cid * CELL_BYTES;
+    if start + CELL_BYTES > bytes.len() {
+        return Value::Null;
+    }
+    decode_cell(&bytes[start..])
 }
 
 /// A table heap stored in pages behind a buffer pool.
@@ -158,6 +170,72 @@ impl PagedTable {
     /// Numeric view of one cell (`Ok(None)` for NULL).
     pub fn value_f64(&self, loc: RowLoc, cid: ColumnId) -> Result<Option<f64>> {
         Ok(self.value(loc, cid)?.as_f64())
+    }
+
+    /// Visit one row under a single page access. The callback receives
+    /// `None` if the row is deleted or its page unreadable; otherwise a
+    /// [`RowRef`] from which any number of cells can be decoded without
+    /// further pool traffic.
+    pub fn with_row<T>(&self, loc: RowLoc, f: impl FnOnce(Option<RowRef<'_>>) -> T) -> T {
+        let mut f = Some(f);
+        let result = self.pool.read(loc.block as PageId, |page| {
+            let f = f.take().expect("pool read callback runs at most once");
+            f(page.get(loc.offset as u16).ok().map(|bytes| RowRef::Encoded { bytes }))
+        });
+        match result {
+            Ok(t) => t,
+            // The page itself was unreadable; the row is as good as gone.
+            Err(_) => (f.take().expect("callback not yet consumed"))(None),
+        }
+    }
+
+    /// Visit a set of candidate rows grouped by page: candidates are sorted
+    /// by `(page, slot)` through the reusable `order` scratch buffer, each
+    /// page is pinned once, and all of its candidates are visited under that
+    /// single pool access. `f` receives the candidate's index into `locs`
+    /// plus its row view (`None` when deleted/unreadable).
+    ///
+    /// Visitation order is page order, not `locs` order — callers that care
+    /// about the original position use the index argument.
+    ///
+    /// `f` runs while the row's page is pinned (its pool shard locked), so
+    /// it must not re-enter the buffer pool; read everything needed through
+    /// the provided [`RowRef`].
+    pub fn for_each_row_batch(
+        &self,
+        locs: &[RowLoc],
+        order: &mut Vec<u32>,
+        mut f: impl FnMut(usize, Option<RowRef<'_>>),
+    ) {
+        order.clear();
+        order.extend(0..locs.len() as u32);
+        order.sort_unstable_by_key(|&i| {
+            let loc = locs[i as usize];
+            (loc.block, loc.offset)
+        });
+        let mut start = 0usize;
+        while start < order.len() {
+            let pid = locs[order[start] as usize].block as PageId;
+            let mut end = start + 1;
+            while end < order.len() && locs[order[end] as usize].block as PageId == pid {
+                end += 1;
+            }
+            let run = &order[start..end];
+            let visited = self.pool.read(pid, |page| {
+                for &i in run {
+                    let loc = locs[i as usize];
+                    let row =
+                        page.get(loc.offset as u16).ok().map(|bytes| RowRef::Encoded { bytes });
+                    f(i as usize, row);
+                }
+            });
+            if visited.is_err() {
+                for &i in run {
+                    f(i as usize, None);
+                }
+            }
+            start = end;
+        }
     }
 
     /// Tombstone a row.
@@ -296,5 +374,64 @@ mod tests {
         let t = make_table(8);
         assert!(t.insert(&[Value::Int(1)]).is_err());
         assert!(t.insert(&[Value::Null, Value::Float(1.0), Value::Null]).is_err());
+    }
+
+    #[test]
+    fn with_row_reads_both_columns_in_one_visit() {
+        let t = make_table(8);
+        let loc = t.insert(&row(3, 1.5, Some(9.0))).unwrap();
+        t.pool().stats().reset();
+        let (a, b) = t.with_row(loc, |r| {
+            let r = r.expect("row is live");
+            (r.f64(1), r.f64(2))
+        });
+        assert_eq!((a, b), (Some(1.5), Some(9.0)));
+        assert_eq!(t.pool().stats().hits() + t.pool().stats().misses(), 1, "one page access");
+        // Deleted rows come back as None.
+        t.delete(loc).unwrap();
+        assert!(t.with_row(loc, |r| r.is_none()));
+    }
+
+    #[test]
+    fn batch_visits_each_page_once() {
+        let t = make_table(64);
+        let n = 2000usize;
+        let locs: Vec<RowLoc> = (0..n)
+            .map(|i| t.insert(&row(i as i64, i as f64, Some(i as f64 * 2.0))).unwrap())
+            .collect();
+        let pages = t.page_count();
+        assert!(pages > 3);
+        // Candidates shuffled across pages: every 7th row, in reverse.
+        let cand: Vec<RowLoc> = (0..n).step_by(7).rev().map(|i| locs[i]).collect();
+        t.pool().stats().reset();
+        let mut got: Vec<Option<Option<f64>>> = vec![None; cand.len()];
+        let mut order = Vec::new();
+        t.for_each_row_batch(&cand, &mut order, |i, r| {
+            got[i] = Some(r.expect("all rows live").f64(1));
+        });
+        let accesses = t.pool().stats().hits() + t.pool().stats().misses();
+        assert!(
+            accesses <= pages as u64,
+            "page-grouped batch should pin each page at most once: {accesses} accesses for {pages} pages"
+        );
+        for (i, &loc) in cand.iter().enumerate() {
+            assert_eq!(got[i], Some(t.value_f64(loc, 1).unwrap()), "candidate {i} mismatch");
+        }
+    }
+
+    #[test]
+    fn batch_reports_deleted_rows_as_none() {
+        let t = make_table(8);
+        let locs: Vec<RowLoc> =
+            (0..10).map(|i| t.insert(&row(i, i as f64, None)).unwrap()).collect();
+        t.delete(locs[4]).unwrap();
+        let mut order = Vec::new();
+        let mut missing = Vec::new();
+        t.for_each_row_batch(&locs, &mut order, |i, r| {
+            if r.is_none() {
+                missing.push(i);
+            }
+        });
+        assert_eq!(missing, vec![4]);
     }
 }

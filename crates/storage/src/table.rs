@@ -5,6 +5,7 @@
 //! the paper's physical-pointer format). Deletes are tombstones; updates
 //! overwrite in place. Per-column statistics are maintained incrementally.
 
+use crate::batch::RowRef;
 use crate::column::Column;
 use crate::error::StorageError;
 use crate::schema::{ColumnId, ColumnType, Schema};
@@ -185,6 +186,36 @@ impl Table {
     pub fn value_f64(&self, loc: RowLoc, cid: ColumnId) -> Result<Option<f64>> {
         let idx = self.check_live(loc)?;
         Ok(self.columns[cid].get_f64(idx))
+    }
+
+    /// Visit one row through a [`RowRef`], so several cells can be read
+    /// under a single liveness check. `None` for deleted/out-of-range rows.
+    #[inline]
+    pub fn with_row<T>(&self, loc: RowLoc, f: impl FnOnce(Option<RowRef<'_>>) -> T) -> T {
+        match self.check_live(loc) {
+            Ok(idx) => f(Some(RowRef::Columnar { table: self, idx })),
+            Err(_) => f(None),
+        }
+    }
+
+    /// Batched counterpart of [`with_row`](Self::with_row): visit every
+    /// candidate in `locs`, passing its index and row view to `f`.
+    ///
+    /// The in-memory heap has no pages to group by, so candidates are
+    /// visited in input order; the signature mirrors
+    /// [`crate::paged::PagedTable::for_each_row_batch`] so the executor can
+    /// drive either substrate through one code path.
+    pub fn for_each_row_batch(
+        &self,
+        locs: &[RowLoc],
+        mut f: impl FnMut(usize, Option<RowRef<'_>>),
+    ) {
+        for (i, &loc) in locs.iter().enumerate() {
+            match self.check_live(loc) {
+                Ok(idx) => f(i, Some(RowRef::Columnar { table: self, idx })),
+                Err(_) => f(i, None),
+            }
+        }
     }
 
     /// Tombstone a row. Idempotent errors: deleting a dead row is

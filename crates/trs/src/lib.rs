@@ -46,7 +46,7 @@ pub mod reorg;
 
 pub use build::build_parallel;
 pub use concurrent::ConcurrentTrsTree;
-pub use lookup::TrsLookup;
+pub use lookup::{LookupScratch, TrsLookup};
 pub use node::{OutlierBufferKind, TrsTree, TrsTreeStats};
 pub use params::TrsParams;
 

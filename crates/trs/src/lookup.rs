@@ -6,7 +6,7 @@
 //! returned ranges are unioned — overlapping intervals produced by adjacent
 //! leaves are merged — before Hermit probes the host index with them.
 
-use crate::node::{NodeKind, TrsTree};
+use crate::node::{NodeId, NodeKind, TrsTree};
 use hermit_storage::Tid;
 use std::collections::VecDeque;
 
@@ -28,21 +28,38 @@ impl TrsLookup {
     }
 }
 
-/// Merge possibly-overlapping intervals into a minimal union
+/// Reusable traversal scratch for [`TrsTree::lookup_into`]: the BFS queue
+/// survives across lookups so batched executors stop paying one queue
+/// allocation (plus growth) per query.
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    queue: VecDeque<NodeId>,
+}
+
+/// Merge possibly-overlapping intervals into a minimal union, in place
 /// (Algorithm 2's final `Union(RS)` step).
-pub fn union_ranges(mut ranges: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+pub fn union_ranges_in_place(ranges: &mut Vec<(f64, f64)>) {
     if ranges.len() <= 1 {
-        return ranges;
+        return;
     }
     ranges.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut out: Vec<(f64, f64)> = Vec::with_capacity(ranges.len());
-    for (lo, hi) in ranges {
-        match out.last_mut() {
-            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
-            _ => out.push((lo, hi)),
+    let mut w = 0usize;
+    for i in 1..ranges.len() {
+        let (lo, hi) = ranges[i];
+        if lo <= ranges[w].1 {
+            ranges[w].1 = ranges[w].1.max(hi);
+        } else {
+            w += 1;
+            ranges[w] = (lo, hi);
         }
     }
-    out
+    ranges.truncate(w + 1);
+}
+
+/// Allocating wrapper around [`union_ranges_in_place`].
+pub fn union_ranges(mut ranges: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    union_ranges_in_place(&mut ranges);
+    ranges
 }
 
 impl TrsTree {
@@ -53,8 +70,19 @@ impl TrsTree {
     /// intersection, plus any buffered outliers inside it.
     pub fn lookup(&self, lb: f64, ub: f64) -> TrsLookup {
         let mut result = TrsLookup::default();
+        self.lookup_into(lb, ub, &mut LookupScratch::default(), &mut result);
+        result
+    }
+
+    /// Allocation-lean form of [`lookup`](Self::lookup): clears and refills
+    /// `out` (whose `ranges`/`tids` buffers keep their capacity) and reuses
+    /// the BFS queue in `scratch`. Batched executors call this once per
+    /// predicate with long-lived buffers.
+    pub fn lookup_into(&self, lb: f64, ub: f64, scratch: &mut LookupScratch, out: &mut TrsLookup) {
+        out.ranges.clear();
+        out.tids.clear();
         if lb > ub {
-            return result;
+            return;
         }
         // Out-of-domain inserts clamp to edge leaves (Algorithm 3's
         // Traverse), so their buffered keys can lie outside the root range.
@@ -64,8 +92,8 @@ impl TrsTree {
         let root_range = self.node(self.root).range;
         let tlb = lb.clamp(root_range.lb, root_range.ub);
         let tub = ub.clamp(root_range.lb, root_range.ub);
-        let mut raw_ranges = Vec::new();
-        let mut queue: VecDeque<u32> = VecDeque::new();
+        let queue = &mut scratch.queue;
+        queue.clear();
         queue.push_back(self.root);
         while let Some(id) = queue.pop_front() {
             let node = self.node(id);
@@ -81,11 +109,11 @@ impl TrsTree {
                         && ub >= root_range.lb
                         && lb <= root_range.ub
                     {
-                        raw_ranges.push(leaf.model.range_band(r.lb, r.ub, leaf.eps));
+                        out.ranges.push(leaf.model.range_band(r.lb, r.ub, leaf.eps));
                     }
                     // Outliers use the raw predicate (edge leaves may
                     // buffer out-of-domain keys).
-                    leaf.outliers.collect_range(lb, ub, &mut result.tids);
+                    leaf.outliers.collect_range(lb, ub, &mut out.tids);
                 }
                 NodeKind::Internal { children } => {
                     for &child in children {
@@ -96,8 +124,7 @@ impl TrsTree {
                 }
             }
         }
-        result.ranges = union_ranges(raw_ranges);
-        result
+        union_ranges_in_place(&mut out.ranges);
     }
 
     /// Point lookup: a range lookup with `lb == ub` (§4.3).
@@ -188,6 +215,22 @@ mod tests {
         // And a disjoint lookup must not return it.
         let result = tree.lookup(0.0, 100.0);
         assert!(!result.tids.contains(&Tid(5_000)));
+    }
+
+    #[test]
+    fn lookup_into_with_reused_scratch_matches_lookup() {
+        let tree = sigmoid_tree(30_000);
+        let mut scratch = LookupScratch::default();
+        let mut out = TrsLookup::default();
+        // Reuse the same scratch + output buffers across dissimilar
+        // predicates (wide, point, narrow, inverted); results must match
+        // the allocating path exactly, with no leftovers between calls.
+        for (lb, ub) in [(-2.0, 2.0), (0.0, 0.0), (5.0, 9.0), (3.0, 1.0), (-2.0, 2.0)] {
+            tree.lookup_into(lb, ub, &mut scratch, &mut out);
+            let fresh = tree.lookup(lb, ub);
+            assert_eq!(out.ranges, fresh.ranges, "ranges diverge on [{lb}, {ub}]");
+            assert_eq!(out.tids, fresh.tids, "tids diverge on [{lb}, {ub}]");
+        }
     }
 
     #[test]

@@ -153,6 +153,16 @@ impl Bencher {
     }
 }
 
+/// True when the bench binary was invoked with `--quick` (CI smoke runs):
+/// sample counts and measurement budgets are clamped so every target
+/// executes end-to-end in a fraction of a second without pretending to
+/// produce stable numbers.
+fn quick_mode() -> bool {
+    use std::sync::OnceLock;
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
+
 fn run_benchmark(
     group: &str,
     id: &str,
@@ -160,6 +170,11 @@ fn run_benchmark(
     measurement_time: Duration,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    let (sample_size, measurement_time) = if quick_mode() {
+        (2, measurement_time.min(Duration::from_millis(50)))
+    } else {
+        (sample_size, measurement_time)
+    };
     // Calibration pass: one iteration, to size the samples.
     let mut bench = Bencher { iters_per_sample: 1, samples: Vec::new() };
     f(&mut bench);

@@ -160,6 +160,70 @@ fn delete_heavy_workload_with_reorg() {
 }
 
 #[test]
+fn parallel_batched_lookups_through_sharded_pool() {
+    // Many client threads drive parallel batched lookups against one paged
+    // database (sharded buffer pool, pool far smaller than the heap so
+    // validation churns through evictions on every query). Every result
+    // must match a scalar lookup computed up front.
+    use hermit::core::{BatchOptions, Database, RangePredicate};
+    use hermit::storage::paged::{BufferPool, PagedTable, SimulatedPageStore};
+    use hermit::storage::{ColumnDef, Schema, Value};
+
+    let schema = Schema::new(vec![
+        ColumnDef::int("pk"),
+        ColumnDef::float("host"),
+        ColumnDef::float("target"),
+    ]);
+    let pool = Arc::new(BufferPool::new_sharded(Arc::new(SimulatedPageStore::new()), 24, 8));
+    let table = PagedTable::new(schema, pool);
+    let mut db = Database::new_paged(table, 0);
+    for i in 0..30_000 {
+        let m = i as f64;
+        let host = if i % 97 == 0 { -4.0e6 } else { 2.0 * m };
+        db.insert(&[Value::Int(i), Value::Float(host), Value::Float(m)]).unwrap();
+    }
+    db.create_baseline_index(1, true).unwrap();
+    db.create_hermit_index(2, 1).unwrap();
+    let db = Arc::new(db);
+
+    let preds: Vec<RangePredicate> = (0..32)
+        .map(|i| RangePredicate::range(2, i as f64 * 900.0, i as f64 * 900.0 + 449.0))
+        .collect();
+    let expected: Vec<(Vec<_>, usize)> = preds
+        .iter()
+        .map(|&p| {
+            let mut r = db.lookup_range(p, None);
+            r.rows.sort_unstable();
+            (r.rows, r.false_positives)
+        })
+        .collect();
+
+    crossbeam::thread::scope(|s| {
+        for t in 0..4 {
+            let db = Arc::clone(&db);
+            let preds = &preds;
+            let expected = &expected;
+            s.spawn(move |_| {
+                let opts = BatchOptions::with_threads(1 + t % 3);
+                for round in 0..8 {
+                    let results = db.lookup_batch_with(preds, None, &opts);
+                    for (i, r) in results.iter().enumerate() {
+                        let mut rows = r.rows.clone();
+                        rows.sort_unstable();
+                        assert_eq!(
+                            (rows, r.false_positives),
+                            expected[i].clone(),
+                            "client {t} round {round} pred {i} diverged under contention"
+                        );
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
 fn snapshot_taken_during_concurrent_reads_is_consistent() {
     let pairs = sigmoid_pairs(15_000);
     let tree = Arc::new(ConcurrentTrsTree::new(TrsTree::build(
