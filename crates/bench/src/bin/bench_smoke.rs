@@ -16,7 +16,7 @@
 //! taken out of the equation.
 
 use hermit_bench::harness::measure_ops_with;
-use hermit_core::{BatchOptions, Database, RangePredicate};
+use hermit_core::{BatchOptions, Database, PlanKind, Query, RangePredicate};
 use hermit_storage::paged::{BufferPool, PagedTable, SimulatedPageStore};
 use hermit_storage::{ColumnDef, Schema, TidScheme, Value};
 use hermit_workloads::synthetic::cols;
@@ -96,6 +96,22 @@ fn preds_for(
     (ranges, points)
 }
 
+/// Per-plan-kind counts for one predicate set, as a JSON object: how the
+/// cost-based planner routes this workload today. A regression that flips
+/// queries from the Hermit route to the scan fallback (or vice versa)
+/// shows up directly in the perf trajectory.
+fn plan_counts(db: &Database, preds: &[RangePredicate]) -> String {
+    let mut counts = [0usize; PlanKind::ALL.len()];
+    for &p in preds {
+        let kind = db.plan(&Query::filter(p)).kind();
+        let slot = PlanKind::ALL.iter().position(|k| *k == kind).expect("kind is in ALL");
+        counts[slot] += 1;
+    }
+    let fields: Vec<String> =
+        PlanKind::ALL.iter().zip(counts).map(|(k, c)| format!("\"{}\": {c}", k.key())).collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
 fn json_variants(variants: &[Variant]) -> String {
     let fields: Vec<String> =
         variants.iter().map(|v| format!("\"{}\": {:.1}", v.name, v.queries_per_sec)).collect();
@@ -169,10 +185,15 @@ fn main() {
         if substrate == "paged" {
             headline = range_v[1].queries_per_sec / range_v[0].queries_per_sec;
         }
+        let range_plans = plan_counts(db, ranges);
+        let point_plans = plan_counts(db, points);
+        println!("{substrate:<6} plans  range {range_plans}   point {point_plans}");
         sections.push(format!(
-            "    \"{substrate}\": {{\"range\": {}, \"point\": {}}}",
+            "    \"{substrate}\": {{\"range\": {}, \"point\": {}, \"plan_counts\": {{\"range\": {}, \"point\": {}}}}}",
             json_variants(&range_v),
-            json_variants(&point_v)
+            json_variants(&point_v),
+            range_plans,
+            point_plans
         ));
     }
 

@@ -10,7 +10,7 @@
 //! * **Candidate buffers** — the tid and row-location vectors grow once and
 //!   are recycled for every subsequent predicate.
 //! * **Base-table locality** — validation fetches candidates *in page
-//!   order* through [`Heap::for_each_row_batch`]: each heap page is pinned
+//!   order* through [`crate::Heap::for_each_row_batch`]: each heap page is pinned
 //!   once per query and every candidate on it is validated under that
 //!   single buffer-pool access, instead of one pool lock + frame lookup per
 //!   value.
@@ -29,6 +29,8 @@
 use crate::database::Database;
 use crate::executor::{QueryResult, RangePredicate};
 use crate::index::SecondaryIndex;
+use crate::plan::{AccessPath, QueryPlan};
+use crate::query::Query;
 use hermit_storage::{F64Key, RowLoc, Tid, TidScheme};
 use hermit_trs::{LookupScratch, TrsLookup};
 use std::time::Instant;
@@ -69,6 +71,8 @@ pub(crate) struct BatchScratch {
     locs: Vec<RowLoc>,
     /// Page-sort permutation for locality-aware validation (phase 4).
     order: Vec<u32>,
+    /// Conjuncts re-checked at the base table (phase 4).
+    recheck: Vec<RangePredicate>,
 }
 
 impl Database {
@@ -92,24 +96,53 @@ impl Database {
         extra: Option<RangePredicate>,
         opts: &BatchOptions,
     ) -> Vec<QueryResult> {
-        let threads = opts.threads.clamp(1, preds.len().max(1));
+        self.run_partitioned(preds, opts, |p, scratch| self.lookup_one(*p, extra, scratch))
+    }
+
+    /// Plan every [`Query`] with the cost-based planner and execute the
+    /// batch through the vectorized pipeline: per-worker scratch reuse,
+    /// page-ordered base-table validation, optional thread partitioning —
+    /// the batched counterpart of [`Database::execute`]. Results come back
+    /// in input order with the same row *set* and false-positive/unresolved
+    /// counts as executing each query's plan on the scalar path. The one
+    /// caveat is `limit`: which qualifying rows survive truncation is
+    /// path-dependent (the scalar pipeline validates in candidate order,
+    /// this one in page order), exactly like an unordered SQL `LIMIT`.
+    pub fn execute_batch(&self, queries: &[Query], opts: &BatchOptions) -> Vec<QueryResult> {
+        let plans: Vec<QueryPlan> = queries.iter().map(|q| self.plan(q)).collect();
+        self.execute_plans(&plans, opts)
+    }
+
+    /// Execute pre-built plans through the vectorized pipeline (plan once,
+    /// execute many).
+    pub fn execute_plans(&self, plans: &[QueryPlan], opts: &BatchOptions) -> Vec<QueryResult> {
+        self.run_partitioned(plans, opts, |plan, scratch| self.execute_one_plan(plan, scratch))
+    }
+
+    /// Shared batch driver: run `one` over every item with reused
+    /// per-worker scratch, partitioning contiguous chunks across scoped
+    /// threads when [`BatchOptions::threads`] > 1. Chunk results
+    /// concatenate back into input order.
+    fn run_partitioned<T: Sync>(
+        &self,
+        items: &[T],
+        opts: &BatchOptions,
+        one: impl Fn(&T, &mut BatchScratch) -> QueryResult + Sync,
+    ) -> Vec<QueryResult> {
+        let threads = opts.threads.clamp(1, items.len().max(1));
         if threads == 1 {
             let mut scratch = BatchScratch::default();
-            return preds.iter().map(|&p| self.lookup_one(p, extra, &mut scratch)).collect();
+            return items.iter().map(|item| one(item, &mut scratch)).collect();
         }
-        // Partition the predicates into contiguous chunks, one worker each;
-        // chunk results concatenate back into input order.
-        let chunk = preds.len().div_ceil(threads);
+        let chunk = items.len().div_ceil(threads);
+        let one = &one;
         let partials: Vec<Vec<QueryResult>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = preds
+            let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|chunk_preds| {
+                .map(|chunk_items| {
                     scope.spawn(move |_| {
                         let mut scratch = BatchScratch::default();
-                        chunk_preds
-                            .iter()
-                            .map(|&p| self.lookup_one(p, extra, &mut scratch))
-                            .collect::<Vec<_>>()
+                        chunk_items.iter().map(|item| one(item, &mut scratch)).collect::<Vec<_>>()
                     })
                 })
                 .collect();
@@ -119,7 +152,54 @@ impl Database {
         partials.into_iter().flatten().collect()
     }
 
-    /// One predicate through the batched pipeline, reusing `scratch`.
+    /// One plan through the batched pipeline, reusing `scratch`.
+    fn execute_one_plan(&self, plan: &QueryPlan, scratch: &mut BatchScratch) -> QueryResult {
+        let mut result = QueryResult::default();
+        scratch.candidates.clear();
+        scratch.recheck.clear();
+        scratch.recheck.extend_from_slice(&plan.recheck);
+        match &plan.access {
+            AccessPath::Hermit { pred, host } => {
+                let Some(SecondaryIndex::Hermit { trs, .. }) = self.index(pred.column) else {
+                    return result; // index dropped since planning
+                };
+                if !self.gather_hermit(trs, *host, *pred, scratch, &mut result) {
+                    return result;
+                }
+            }
+            AccessPath::Baseline { pred } => {
+                let Some(SecondaryIndex::Baseline(tree)) = self.index(pred.column) else {
+                    return result;
+                };
+                self.gather_baseline(tree, *pred, scratch, &mut result);
+            }
+            AccessPath::CompositeBaseline { index, leading, value }
+            | AccessPath::CompositeHermit { index, leading, value, .. } => {
+                if !self.composites().gather_box_candidates(
+                    *index,
+                    *leading,
+                    *value,
+                    &mut result.breakdown,
+                    &mut scratch.candidates,
+                ) {
+                    return result;
+                }
+            }
+            AccessPath::SeqScan => {
+                // The scan is already sequential in page order; the scalar
+                // scan path *is* the batched scan path.
+                self.run_scan_into(&scratch.recheck, plan.limit, &mut result);
+                self.finish_plan(plan, &mut result);
+                return result;
+            }
+        }
+        self.batched_resolve_validate(scratch, &mut result);
+        self.finish_plan(plan, &mut result);
+        result
+    }
+
+    /// One predicate through the batched pipeline (legacy surface, index
+    /// paths only), reusing `scratch`.
     fn lookup_one(
         &self,
         pred: RangePredicate,
@@ -128,60 +208,93 @@ impl Database {
     ) -> QueryResult {
         let mut result = QueryResult::default();
         scratch.candidates.clear();
-        let validate_main = match self.index(pred.column) {
+        scratch.recheck.clear();
+        match self.index(pred.column) {
             Some(SecondaryIndex::Hermit { trs, host }) => {
-                // Phase 1: TRS-Tree search into reused buffers.
-                let t0 = Instant::now();
-                trs.lookup_into(pred.lb, pred.ub, &mut scratch.trs, &mut scratch.approx);
-                result.breakdown.trs_tree += t0.elapsed();
-
-                // Phase 2: host-index probes over the translated ranges,
-                // unioned with the outlier tids (which bypass the host
-                // index entirely, §4.3).
-                let t1 = Instant::now();
-                let Some(SecondaryIndex::Baseline(host_tree)) = self.index(*host) else {
-                    // Host index dropped out from under us — no results.
+                scratch.recheck.push(pred);
+                scratch.recheck.extend(extra);
+                if !self.gather_hermit(trs, *host, pred, scratch, &mut result) {
                     return result;
-                };
-                let candidates = &mut scratch.candidates;
-                candidates.extend_from_slice(&scratch.approx.tids);
-                let had_outliers = !candidates.is_empty();
-                for &(lo, hi) in &scratch.approx.ranges {
-                    if lo == hi {
-                        host_tree.for_each_eq(&F64Key(lo), |tid| candidates.push(*tid));
-                    } else {
-                        host_tree.for_each_in_range(&F64Key(lo), &F64Key(hi), |_, tid| {
-                            candidates.push(*tid)
-                        });
-                    }
                 }
-                // The unioned ranges are disjoint, so duplicates only arise
-                // between outlier tids and range results.
-                if had_outliers {
-                    candidates.sort_unstable();
-                    candidates.dedup();
-                }
-                result.breakdown.host_index += t1.elapsed();
-                true
             }
             Some(SecondaryIndex::Baseline(tree)) => {
-                // Secondary-index search; point predicates take the
-                // allocation-free equality probe.
-                let t0 = Instant::now();
-                let candidates = &mut scratch.candidates;
-                if pred.lb == pred.ub {
-                    tree.for_each_eq(&F64Key(pred.lb), |tid| candidates.push(*tid));
-                } else {
-                    tree.for_each_in_range(&F64Key(pred.lb), &F64Key(pred.ub), |_, tid| {
-                        candidates.push(*tid)
-                    });
-                }
-                result.breakdown.host_index += t0.elapsed();
-                false
+                scratch.recheck.extend(extra);
+                self.gather_baseline(tree, pred, scratch, &mut result);
             }
             None => return result,
-        };
+        }
+        self.batched_resolve_validate(scratch, &mut result);
+        result
+    }
 
+    /// Phases 1–2 of the Hermit route into `scratch.candidates`. Returns
+    /// `false` when the host index has dropped out from under the TRS-Tree.
+    fn gather_hermit(
+        &self,
+        trs: &hermit_trs::TrsTree,
+        host: hermit_storage::ColumnId,
+        pred: RangePredicate,
+        scratch: &mut BatchScratch,
+        result: &mut QueryResult,
+    ) -> bool {
+        // Phase 1: TRS-Tree search into reused buffers.
+        let t0 = Instant::now();
+        trs.lookup_into(pred.lb, pred.ub, &mut scratch.trs, &mut scratch.approx);
+        result.breakdown.trs_tree += t0.elapsed();
+
+        // Phase 2: host-index probes over the translated ranges, unioned
+        // with the outlier tids (which bypass the host index entirely,
+        // §4.3).
+        let t1 = Instant::now();
+        let Some(SecondaryIndex::Baseline(host_tree)) = self.index(host) else {
+            return false;
+        };
+        let candidates = &mut scratch.candidates;
+        candidates.extend_from_slice(&scratch.approx.tids);
+        let had_outliers = !candidates.is_empty();
+        for &(lo, hi) in &scratch.approx.ranges {
+            if lo == hi {
+                host_tree.for_each_eq(&F64Key(lo), |tid| candidates.push(*tid));
+            } else {
+                host_tree
+                    .for_each_in_range(&F64Key(lo), &F64Key(hi), |_, tid| candidates.push(*tid));
+            }
+        }
+        // The unioned ranges are disjoint, so duplicates only arise between
+        // outlier tids and range results.
+        if had_outliers {
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+        result.breakdown.host_index += t1.elapsed();
+        true
+    }
+
+    /// Phase 2 of the baseline path into `scratch.candidates`; point
+    /// predicates take the allocation-free equality probe.
+    fn gather_baseline(
+        &self,
+        tree: &hermit_btree::BPlusTree<F64Key, Tid>,
+        pred: RangePredicate,
+        scratch: &mut BatchScratch,
+        result: &mut QueryResult,
+    ) {
+        let t0 = Instant::now();
+        let candidates = &mut scratch.candidates;
+        if pred.lb == pred.ub {
+            tree.for_each_eq(&F64Key(pred.lb), |tid| candidates.push(*tid));
+        } else {
+            tree.for_each_in_range(&F64Key(pred.lb), &F64Key(pred.ub), |_, tid| {
+                candidates.push(*tid)
+            });
+        }
+        result.breakdown.host_index += t0.elapsed();
+    }
+
+    /// Phases 3–4 of the batched pipeline: primary-index resolution into
+    /// `scratch.locs`, then page-ordered base-table validation of every
+    /// `scratch.recheck` conjunct.
+    fn batched_resolve_validate(&self, scratch: &mut BatchScratch, result: &mut QueryResult) {
         // Phase 3: primary-index resolution (logical scheme only).
         scratch.locs.clear();
         match self.scheme() {
@@ -202,16 +315,15 @@ impl Database {
 
         // Phase 4: page-ordered base-table validation. Each heap page is
         // pinned once; all of its candidates are validated under that one
-        // access, with both predicate columns read from the same row view.
+        // access, with every recheck column read from the same row view.
         let t3 = Instant::now();
         let locs = &scratch.locs;
+        let recheck = &scratch.recheck;
         result.rows.reserve(locs.len());
         self.heap().for_each_row_batch(locs, &mut scratch.order, |i, row| match row {
             None => result.unresolved += 1,
             Some(row) => {
-                let main_ok = !validate_main || pred.matches(row.f64(pred.column));
-                let extra_ok = extra.is_none_or(|e| e.matches(row.f64(e.column)));
-                if main_ok && extra_ok {
+                if recheck.iter().all(|p| p.matches(row.f64(p.column))) {
                     result.rows.push(locs[i]);
                 } else {
                     result.false_positives += 1;
@@ -219,7 +331,6 @@ impl Database {
             }
         });
         result.breakdown.base_table += t3.elapsed();
-        result
     }
 }
 

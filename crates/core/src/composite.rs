@@ -18,6 +18,7 @@
 //! exactly what a conventional RDBMS does with a composite B+-tree when
 //! the leading predicate is the more selective one.
 
+use crate::breakdown::LookupBreakdown;
 use crate::database::{Database, Heap};
 use crate::executor::{QueryResult, RangePredicate};
 use hermit_btree::BPlusTree;
@@ -105,6 +106,19 @@ impl CompositeIndexes {
         self.indexes.get(i)
     }
 
+    /// Registry position of the composite baseline index on
+    /// `(leading, host)`, if one exists — the companion a composite Hermit
+    /// index routes its translated probes through.
+    pub fn companion_baseline(&self, leading: ColumnId, host: ColumnId) -> Option<usize> {
+        self.indexes.iter().position(|idx| {
+            matches!(
+                idx,
+                CompositeIndex::Baseline { leading: l, value: v, .. }
+                    if *l == leading && *v == host
+            )
+        })
+    }
+
     /// Build a composite baseline index on `(leading, value)` over the
     /// current contents of `db`. Returns its registry position.
     pub fn create_baseline(
@@ -113,14 +127,31 @@ impl CompositeIndexes {
         leading: ColumnId,
         value: ColumnId,
     ) -> hermit_storage::Result<usize> {
-        let mut entries: Vec<(CompositeKey, Tid)> = Vec::with_capacity(db.len());
-        for_each_row_pair(db, leading, value, |lead, val, tid| {
-            entries.push(((F64Key(lead), F64Key(val)), tid));
-        })?;
-        entries.sort_by_key(|e| e.0);
-        let tree = BPlusTree::bulk_load(entries);
+        let tree = build_composite_tree(db.heap(), db.scheme(), db.pk_col(), leading, value)?;
+        Ok(self.push_baseline(tree, leading, value))
+    }
+
+    /// Register a built composite baseline tree; returns its position.
+    pub(crate) fn push_baseline(
+        &mut self,
+        tree: BPlusTree<CompositeKey, Tid>,
+        leading: ColumnId,
+        value: ColumnId,
+    ) -> usize {
         self.indexes.push(CompositeIndex::Baseline { tree, leading, value });
-        Ok(self.indexes.len() - 1)
+        self.indexes.len() - 1
+    }
+
+    /// Register a built composite Hermit index; returns its position.
+    pub(crate) fn push_hermit(
+        &mut self,
+        trs: TrsTree,
+        leading: ColumnId,
+        target: ColumnId,
+        host: ColumnId,
+    ) -> usize {
+        self.indexes.push(CompositeIndex::Hermit { trs, leading, target, host });
+        self.indexes.len() - 1
     }
 
     /// Build a composite Hermit index on `(leading, target)` routed through
@@ -136,33 +167,23 @@ impl CompositeIndexes {
         params: TrsParams,
     ) -> hermit_storage::Result<usize> {
         assert!(
-            self.indexes.iter().any(|idx| matches!(
-                idx,
-                CompositeIndex::Baseline { leading: l, value: v, .. } if *l == leading && *v == host
-            )),
+            self.companion_baseline(leading, host).is_some(),
             "a composite baseline index on (leading={leading}, host={host}) must exist first"
         );
-        // TRS-Tree over target → host pairs (leading plays no role in the
-        // correlation itself).
-        let mut pairs: Vec<(f64, f64, Tid)> = Vec::with_capacity(db.len());
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for_each_row_triple(db, target, host, |t, h, tid| {
-            lo = lo.min(t);
-            hi = hi.max(t);
-            pairs.push((t, h, tid));
-        })?;
-        if pairs.is_empty() {
-            lo = 0.0;
-            hi = 0.0;
-        }
-        let trs = TrsTree::build(params, (lo, hi), pairs);
-        self.indexes.push(CompositeIndex::Hermit { trs, leading, target, host });
-        Ok(self.indexes.len() - 1)
+        let trs = build_composite_trs(db.heap(), db.scheme(), db.pk_col(), target, host, params)?;
+        Ok(self.push_hermit(trs, leading, target, host))
     }
 
     /// Maintain all composite indexes for a newly-inserted row.
     pub fn insert_row(&mut self, db: &Database, row: &[hermit_storage::Value], tid: Tid) {
+        let _ = db;
+        self.maintain_insert(row, tid);
+    }
+
+    /// Maintain all composite indexes for a newly-inserted row (the
+    /// database-agnostic core of [`insert_row`](Self::insert_row); called
+    /// by [`Database::insert_timed`] for the registry the database owns).
+    pub fn maintain_insert(&mut self, row: &[hermit_storage::Value], tid: Tid) {
         for index in &mut self.indexes {
             match index {
                 CompositeIndex::Baseline { tree, leading, value } => {
@@ -177,7 +198,84 @@ impl CompositeIndexes {
                 }
             }
         }
-        let _ = db;
+    }
+
+    /// Maintain all composite indexes for a row being deleted: exact key
+    /// removal on baselines, TRS-Tree tombstoning on Hermit indexes (the
+    /// same contract as the single-column indexes in
+    /// [`Database::delete_by_pk`]).
+    pub fn maintain_delete(&mut self, row: &[hermit_storage::Value], tid: Tid) {
+        for index in &mut self.indexes {
+            match index {
+                CompositeIndex::Baseline { tree, leading, value } => {
+                    if let (Some(l), Some(v)) = (row[*leading].as_f64(), row[*value].as_f64()) {
+                        tree.remove(&(F64Key(l), F64Key(v)), &tid);
+                    }
+                }
+                CompositeIndex::Hermit { trs, target, .. } => {
+                    if let Some(m) = row[*target].as_f64() {
+                        trs.delete(m, tid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phases 1–2 of a box query against the index at `idx`: gather
+    /// candidate tids into `candidates`, recording per-phase time in
+    /// `breakdown`. Baseline indexes box-scan directly; Hermit indexes
+    /// translate the value predicate through the TRS-Tree and box-scan the
+    /// companion `(leading, host)` baseline with each translated range.
+    ///
+    /// Returns `false` when `idx` does not exist or a Hermit index's
+    /// companion baseline is missing — the caller treats that as an empty
+    /// candidate set. The planner and both executors (scalar
+    /// [`Database::execute_plan`], batched [`Database::execute_plans`])
+    /// share this path.
+    pub(crate) fn gather_box_candidates(
+        &self,
+        idx: usize,
+        leading_pred: RangePredicate,
+        value_pred: RangePredicate,
+        breakdown: &mut LookupBreakdown,
+        candidates: &mut Vec<Tid>,
+    ) -> bool {
+        let Some(index) = self.indexes.get(idx) else { return false };
+        match index {
+            CompositeIndex::Baseline { tree, .. } => {
+                let t0 = Instant::now();
+                scan_box(tree, &leading_pred, &value_pred, |tid| candidates.push(tid));
+                breakdown.host_index += t0.elapsed();
+            }
+            CompositeIndex::Hermit { trs, leading, host, .. } => {
+                // Phase 1: TRS-Tree translation of the value predicate.
+                let t0 = Instant::now();
+                let approx = trs.lookup(value_pred.lb, value_pred.ub);
+                breakdown.trs_tree += t0.elapsed();
+
+                // Phase 2: box probes on the (leading, host) baseline.
+                let t1 = Instant::now();
+                let Some(companion) = self.companion_baseline(*leading, *host) else {
+                    return false;
+                };
+                let Some(CompositeIndex::Baseline { tree, .. }) = self.indexes.get(companion)
+                else {
+                    return false;
+                };
+                candidates.extend_from_slice(&approx.tids);
+                let had_outliers = !candidates.is_empty();
+                for (lo, hi) in &approx.ranges {
+                    let host_pred = RangePredicate { column: *host, lb: *lo, ub: *hi };
+                    scan_box(tree, &leading_pred, &host_pred, |tid| candidates.push(tid));
+                }
+                if had_outliers {
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                }
+                breakdown.host_index += t1.elapsed();
+            }
+        }
+        true
     }
 
     /// Execute a box query — `leading ∈ [l.lb, l.ub] AND value ∈ [v.lb,
@@ -196,47 +294,18 @@ impl CompositeIndexes {
         value_pred: RangePredicate,
     ) -> QueryResult {
         let mut result = QueryResult::default();
-        let Some(index) = self.indexes.get(idx) else { return result };
-        match index {
-            CompositeIndex::Baseline { tree, .. } => {
-                let t0 = Instant::now();
-                let mut candidates: Vec<Tid> = Vec::new();
-                scan_box(tree, &leading_pred, &value_pred, |tid| candidates.push(tid));
-                result.breakdown.host_index += t0.elapsed();
-                finish(db, candidates, value_pred, Some(leading_pred), false, &mut result);
-            }
-            CompositeIndex::Hermit { trs, leading, host, .. } => {
-                // Phase 1: TRS-Tree translation of the value predicate.
-                let t0 = Instant::now();
-                let approx = trs.lookup(value_pred.lb, value_pred.ub);
-                result.breakdown.trs_tree += t0.elapsed();
-
-                // Phase 2: box probes on the (leading, host) baseline.
-                let t1 = Instant::now();
-                let Some(CompositeIndex::Baseline { tree, .. }) = self.indexes.iter().find(|i| {
-                    matches!(
-                        i,
-                        CompositeIndex::Baseline { leading: l, value: v, .. }
-                            if *l == *leading && *v == *host
-                    )
-                }) else {
-                    return result;
-                };
-                let had_outliers = !approx.tids.is_empty();
-                let mut candidates: Vec<Tid> = approx.tids;
-                for (lo, hi) in &approx.ranges {
-                    let host_pred = RangePredicate { column: *host, lb: *lo, ub: *hi };
-                    scan_box(tree, &leading_pred, &host_pred, |tid| candidates.push(tid));
-                }
-                if had_outliers {
-                    candidates.sort_unstable();
-                    candidates.dedup();
-                }
-                result.breakdown.host_index += t1.elapsed();
-
-                finish(db, candidates, value_pred, Some(leading_pred), true, &mut result);
-            }
+        let mut candidates: Vec<Tid> = Vec::new();
+        if !self.gather_box_candidates(
+            idx,
+            leading_pred,
+            value_pred,
+            &mut result.breakdown,
+            &mut candidates,
+        ) {
+            return result;
         }
+        let validate_value = self.indexes.get(idx).map(CompositeIndex::is_hermit).unwrap_or(false);
+        finish(db, candidates, value_pred, Some(leading_pred), validate_value, &mut result);
         result
     }
 
@@ -316,22 +385,71 @@ fn finish(
     result.breakdown.base_table += t.elapsed();
 }
 
-fn for_each_row_pair(
-    db: &Database,
+/// Bulk-load a composite `(leading, value)` B+-tree from a heap. Shared by
+/// the standalone registry's [`CompositeIndexes::create_baseline`] and the
+/// database-owned [`Database::create_composite_baseline`].
+pub(crate) fn build_composite_tree(
+    heap: &Heap,
+    scheme: TidScheme,
+    pk_col: ColumnId,
+    leading: ColumnId,
+    value: ColumnId,
+) -> hermit_storage::Result<BPlusTree<CompositeKey, Tid>> {
+    let mut entries: Vec<(CompositeKey, Tid)> = Vec::with_capacity(heap.len());
+    for_each_heap_pair(heap, scheme, pk_col, leading, value, |lead, val, tid| {
+        entries.push(((F64Key(lead), F64Key(val)), tid));
+    })?;
+    entries.sort_by_key(|e| e.0);
+    Ok(BPlusTree::bulk_load(entries))
+}
+
+/// Build the TRS-Tree of a composite Hermit index over `target → host`
+/// pairs (the leading column plays no role in the correlation itself).
+/// Shared by [`CompositeIndexes::create_hermit`] and
+/// [`Database::create_composite_hermit`].
+pub(crate) fn build_composite_trs(
+    heap: &Heap,
+    scheme: TidScheme,
+    pk_col: ColumnId,
+    target: ColumnId,
+    host: ColumnId,
+    params: TrsParams,
+) -> hermit_storage::Result<TrsTree> {
+    let mut pairs: Vec<(f64, f64, Tid)> = Vec::with_capacity(heap.len());
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for_each_heap_pair(heap, scheme, pk_col, target, host, |t, h, tid| {
+        lo = lo.min(t);
+        hi = hi.max(t);
+        pairs.push((t, h, tid));
+    })?;
+    if pairs.is_empty() {
+        lo = 0.0;
+        hi = 0.0;
+    }
+    Ok(TrsTree::build(params, (lo, hi), pairs))
+}
+
+/// Visit `(a, b, tid)` for every live row, skipping NULLs. Split out at
+/// heap level so [`Database`]-owned composite creation can run while the
+/// database is mutably borrowed.
+pub(crate) fn for_each_heap_pair(
+    heap: &Heap,
+    scheme: TidScheme,
+    pk_col: ColumnId,
     a: ColumnId,
     b: ColumnId,
     mut f: impl FnMut(f64, f64, Tid),
 ) -> hermit_storage::Result<()> {
-    match db.heap() {
+    match heap {
         Heap::Mem(table) => {
             let ca = table.column(a)?;
             let cb = table.column(b)?;
-            let pk_col = 0; // primary key convention used by make-tid below
             let cpk = table.column(pk_col)?;
             for loc in table.scan() {
                 let i = loc.index();
                 if let (Some(x), Some(y)) = (ca.get_f64(i), cb.get_f64(i)) {
-                    let tid = match db.scheme() {
+                    let tid = match scheme {
                         TidScheme::Physical => Tid::from_loc(loc),
                         TidScheme::Logical => Tid::from_pk(cpk.get_f64(i).unwrap_or(0.0) as i64),
                     };
@@ -344,15 +462,6 @@ fn for_each_row_pair(
             "composite indexes are implemented for the in-memory substrate".into(),
         )),
     }
-}
-
-fn for_each_row_triple(
-    db: &Database,
-    a: ColumnId,
-    b: ColumnId,
-    f: impl FnMut(f64, f64, Tid),
-) -> hermit_storage::Result<()> {
-    for_each_row_pair(db, a, b, f)
 }
 
 #[cfg(test)]

@@ -14,7 +14,9 @@
 //! real systems (PostgreSQL = physical, MySQL = logical).
 
 use crate::breakdown::InsertBreakdown;
+use crate::composite::{build_composite_tree, build_composite_trs, CompositeIndexes};
 use crate::correlation::{discover_correlations, DiscoveryConfig};
+use crate::error::CoreError;
 use crate::index::SecondaryIndex;
 use hermit_btree::{BPlusTree, HashPrimaryIndex};
 use hermit_storage::paged::PagedTable;
@@ -113,10 +115,23 @@ impl Heap {
         }
     }
 
-    fn stats(&self, cid: ColumnId) -> hermit_storage::Result<ColumnStats> {
+    /// Incrementally-maintained column statistics (the planner's
+    /// "optimizer statistics").
+    pub fn stats(&self, cid: ColumnId) -> hermit_storage::Result<ColumnStats> {
         match self {
             Heap::Mem(t) => t.stats(cid).cloned(),
             Heap::Paged(t) => t.stats(cid),
+        }
+    }
+
+    /// Stream every live row through a `RowRef` visitor; the visitor
+    /// returns `false` to stop early. Page-sequential on the paged
+    /// substrate (one pool access per page). This is the seq-scan access
+    /// path of the query planner.
+    pub fn for_each_live_row(&self, f: impl FnMut(RowLoc, RowRef<'_>) -> bool) -> bool {
+        match self {
+            Heap::Mem(t) => t.for_each_live_row(f),
+            Heap::Paged(t) => t.for_each_live_row(f),
         }
     }
 
@@ -168,6 +183,9 @@ pub struct Database {
     primary: HashPrimaryIndex,
     /// Secondary indexes by indexed column.
     secondary: BTreeMap<ColumnId, SecondaryIndex>,
+    /// Composite `(leading, value)` secondary indexes, maintained on insert
+    /// and visible to the query planner.
+    composites: CompositeIndexes,
     /// Columns whose indexes existed before the experiment began; their
     /// maintenance cost is charged to "existing indexes" in breakdowns.
     existing: Vec<ColumnId>,
@@ -183,6 +201,7 @@ impl Database {
             pk_col,
             primary: HashPrimaryIndex::new(),
             secondary: BTreeMap::new(),
+            composites: CompositeIndexes::new(),
             existing: Vec::new(),
             trs_params: TrsParams::default(),
         }
@@ -197,6 +216,7 @@ impl Database {
             pk_col,
             primary: HashPrimaryIndex::new(),
             secondary: BTreeMap::new(),
+            composites: CompositeIndexes::new(),
             existing: Vec::new(),
             trs_params: TrsParams::default(),
         }
@@ -211,6 +231,16 @@ impl Database {
     /// The tuple-identifier scheme in force.
     pub fn scheme(&self) -> TidScheme {
         self.scheme
+    }
+
+    /// The primary-key column.
+    pub fn pk_col(&self) -> ColumnId {
+        self.pk_col
+    }
+
+    /// The composite-index registry the planner consults.
+    pub fn composites(&self) -> &CompositeIndexes {
+        &self.composites
     }
 
     /// Borrow the heap.
@@ -310,12 +340,19 @@ impl Database {
                 breakdown.new_indexes += d;
             }
         }
+
+        // Maintain database-owned composite indexes (charged as new).
+        if !self.composites.is_empty() {
+            let t2 = Instant::now();
+            self.composites.maintain_insert(row, tid);
+            breakdown.new_indexes += t2.elapsed();
+        }
         Ok(tid)
     }
 
     /// Delete a row by primary key, maintaining all indexes.
     pub fn delete_by_pk(&mut self, pk: i64) -> hermit_storage::Result<()> {
-        let loc = self.primary.get(pk).ok_or(StorageError::RowNotFound { loc: pk as u64 })?;
+        let loc = self.primary.get(pk).ok_or(StorageError::PkNotFound { pk })?;
         let row = self.heap.get(loc)?;
         let tid = self.make_tid(pk, loc);
         for (&col, index) in self.secondary.iter_mut() {
@@ -331,6 +368,9 @@ impl Database {
                     }
                 }
             }
+        }
+        if !self.composites.is_empty() {
+            self.composites.maintain_delete(&row, tid);
         }
         self.heap.delete(loc)?;
         self.primary.remove(pk);
@@ -378,17 +418,27 @@ impl Database {
         Ok(())
     }
 
+    /// The paper's precondition for a Hermit index: the host column must
+    /// already carry a complete baseline index for the TRS-Tree's second
+    /// hop to probe.
+    fn require_host_index(&self, target: ColumnId, host: ColumnId) -> Result<(), CoreError> {
+        if matches!(self.secondary.get(&host), Some(SecondaryIndex::Baseline(_))) {
+            Ok(())
+        } else {
+            Err(CoreError::MissingHostIndex { target, host })
+        }
+    }
+
     /// Create a Hermit index on `target` routed through `host`, whose
-    /// baseline index must already exist (the paper's precondition).
+    /// baseline index must already exist — violating the paper's
+    /// precondition is a typed [`CoreError::MissingHostIndex`], not a
+    /// panic.
     pub fn create_hermit_index(
         &mut self,
         target: ColumnId,
         host: ColumnId,
-    ) -> hermit_storage::Result<()> {
-        assert!(
-            matches!(self.secondary.get(&host), Some(SecondaryIndex::Baseline(_))),
-            "host column {host} must carry a baseline index before a Hermit index can route to it"
-        );
+    ) -> Result<(), CoreError> {
+        self.require_host_index(target, host)?;
         let pairs = self.project_tid_pairs(target, host)?;
         let range = self.heap.stats(target)?.range().unwrap_or((0.0, 0.0));
         let trs = TrsTree::build(self.trs_params, range, pairs);
@@ -396,19 +446,58 @@ impl Database {
         Ok(())
     }
 
-    /// Multi-threaded variant of [`create_hermit_index`] (Appendix D.2 /
-    /// Fig. 21).
+    /// Multi-threaded variant of [`create_hermit_index`](Self::create_hermit_index) (Appendix D.2 /
+    /// Fig. 21); enforces the same host-index precondition.
     pub fn create_hermit_index_parallel(
         &mut self,
         target: ColumnId,
         host: ColumnId,
         threads: usize,
-    ) -> hermit_storage::Result<()> {
+    ) -> Result<(), CoreError> {
+        self.require_host_index(target, host)?;
         let pairs = self.project_tid_pairs(target, host)?;
         let range = self.heap.stats(target)?.range().unwrap_or((0.0, 0.0));
         let trs = hermit_trs::build_parallel(self.trs_params, range, pairs, threads);
         self.secondary.insert(target, SecondaryIndex::Hermit { trs, host });
         Ok(())
+    }
+
+    /// Create a composite baseline B+-tree on `(leading, value)`,
+    /// bulk-loaded from the current table contents and owned by this
+    /// database: subsequent inserts maintain it and the query planner can
+    /// choose it for 2-conjunct box queries. Returns its registry position.
+    pub fn create_composite_baseline(
+        &mut self,
+        leading: ColumnId,
+        value: ColumnId,
+    ) -> Result<usize, CoreError> {
+        let tree = build_composite_tree(&self.heap, self.scheme, self.pk_col, leading, value)?;
+        Ok(self.composites.push_baseline(tree, leading, value))
+    }
+
+    /// Create a composite Hermit index on `(leading, target)` routed
+    /// through `host`: requires a composite baseline on `(leading, host)`
+    /// in this database's registry (typed
+    /// [`CoreError::MissingCompositeHost`] otherwise). Returns its
+    /// registry position.
+    pub fn create_composite_hermit(
+        &mut self,
+        leading: ColumnId,
+        target: ColumnId,
+        host: ColumnId,
+    ) -> Result<usize, CoreError> {
+        if self.composites.companion_baseline(leading, host).is_none() {
+            return Err(CoreError::MissingCompositeHost { leading, host });
+        }
+        let trs = build_composite_trs(
+            &self.heap,
+            self.scheme,
+            self.pk_col,
+            target,
+            host,
+            self.trs_params,
+        )?;
+        Ok(self.composites.push_hermit(trs, leading, target, host))
     }
 
     /// The paper's index-creation flow (§3): on `CREATE INDEX`, check the
@@ -419,7 +508,7 @@ impl Database {
         &mut self,
         target: ColumnId,
         config: &DiscoveryConfig,
-    ) -> hermit_storage::Result<bool> {
+    ) -> Result<bool, CoreError> {
         let hosts: Vec<ColumnId> =
             self.secondary.iter().filter(|(_, idx)| !idx.is_hermit()).map(|(&c, _)| c).collect();
         let candidates = match &self.heap {
@@ -568,10 +657,24 @@ mod tests {
     #[test]
     fn hermit_index_requires_host() {
         let mut db = populated(TidScheme::Physical, 100);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            db.create_hermit_index(2, 1).unwrap();
-        }));
-        assert!(result.is_err(), "must panic without a host index");
+        assert_eq!(
+            db.create_hermit_index(2, 1),
+            Err(CoreError::MissingHostIndex { target: 2, host: 1 }),
+            "missing host index must be a typed error, not a panic"
+        );
+        // The parallel builder enforces the same precondition.
+        assert_eq!(
+            db.create_hermit_index_parallel(2, 1, 4),
+            Err(CoreError::MissingHostIndex { target: 2, host: 1 })
+        );
+        // A Hermit index on the host does not satisfy it either.
+        db.create_baseline_index(1, true).unwrap();
+        db.create_hermit_index(2, 1).unwrap();
+        assert_eq!(
+            db.create_hermit_index(3, 2),
+            Err(CoreError::MissingHostIndex { target: 3, host: 2 }),
+            "a TRS-Tree cannot serve as a host index"
+        );
     }
 
     #[test]
@@ -625,7 +728,11 @@ mod tests {
         assert_eq!(db.len(), 999);
         let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
         assert!(!tree.contains_key(&F64Key(500.0)));
-        assert!(db.delete_by_pk(500).is_err(), "double delete");
+        assert_eq!(
+            db.delete_by_pk(500),
+            Err(StorageError::PkNotFound { pk: 500 }),
+            "double delete reports the missing primary key, not a bogus row location"
+        );
     }
 
     #[test]

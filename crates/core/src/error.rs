@@ -1,0 +1,84 @@
+//! Typed errors for database-level operations.
+//!
+//! Storage-layer failures pass through as [`CoreError::Storage`]; the
+//! variants above it capture preconditions that only exist at the database
+//! layer (the paper's §3 requirement that a Hermit index routes to a host
+//! column whose complete index already exists).
+
+use hermit_storage::{ColumnId, StorageError};
+use std::fmt;
+
+/// Errors produced by [`crate::Database`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A Hermit index was requested on `target` routed through `host`, but
+    /// `host` carries no baseline B+-tree (the paper's precondition: the
+    /// TRS-Tree's second hop needs a complete index to probe).
+    MissingHostIndex {
+        /// Column the Hermit index was requested on.
+        target: ColumnId,
+        /// Host column that lacks a baseline index.
+        host: ColumnId,
+    },
+    /// A composite Hermit index on `(leading, target)` was requested, but
+    /// no composite baseline index on `(leading, host)` exists to serve the
+    /// translated box probes.
+    MissingCompositeHost {
+        /// Shared leading column.
+        leading: ColumnId,
+        /// Host column of the missing `(leading, host)` baseline.
+        host: ColumnId,
+    },
+    /// An underlying storage operation failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MissingHostIndex { target, host } => write!(
+                f,
+                "cannot build a Hermit index on column {target}: host column {host} has no \
+                 baseline index to route through"
+            ),
+            CoreError::MissingCompositeHost { leading, host } => write!(
+                f,
+                "cannot build a composite Hermit index: no composite baseline index on \
+                 (leading={leading}, host={host}) exists"
+            ),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+/// Result alias for database-level operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = CoreError::MissingHostIndex { target: 2, host: 1 };
+        assert!(e.to_string().contains("host column 1"));
+        let e: CoreError = StorageError::PageFull.into();
+        assert!(matches!(e, CoreError::Storage(StorageError::PageFull)));
+        assert!(e.to_string().contains("page full"));
+    }
+}

@@ -20,7 +20,9 @@
 use crate::breakdown::LookupBreakdown;
 use crate::database::Database;
 use crate::index::SecondaryIndex;
-use hermit_storage::{ColumnId, F64Key, RowLoc, Tid, TidScheme};
+use crate::plan::{AccessPath, QueryPlan};
+use crate::query::Query;
+use hermit_storage::{ColumnId, F64Key, RowLoc, Tid, TidScheme, Value};
 use std::time::Instant;
 
 /// An inclusive range predicate on one column.
@@ -58,12 +60,15 @@ pub struct QueryResult {
     /// Row locations of qualifying tuples.
     pub rows: Vec<RowLoc>,
     /// Candidates fetched that failed validation (Hermit's approximation
-    /// cost; always 0 for the baseline). Feeds Fig. 17.
+    /// cost; always 0 for the baseline and the seq scan). Feeds Fig. 17.
     pub false_positives: usize,
     /// Candidates whose tid did not resolve (deleted tuples etc.).
     pub unresolved: usize,
     /// Per-phase wall-clock time.
     pub breakdown: LookupBreakdown,
+    /// Materialized projection, aligned with `rows` — present only when the
+    /// executed [`Query`] carried a `select`.
+    pub projected: Option<Vec<Vec<Value>>>,
 }
 
 impl QueryResult {
@@ -79,19 +84,104 @@ impl QueryResult {
 }
 
 impl Database {
+    /// Plan and execute a [`Query`] through the scalar pipeline.
+    ///
+    /// The planner picks the driving access path (Hermit route, baseline
+    /// B+-tree, composite box, or seq scan); every other conjunct is
+    /// validated at the base table. Unlike the legacy
+    /// [`lookup_range`](Self::lookup_range), a query over an unindexed
+    /// column returns its rows via the scan plan instead of nothing.
+    pub fn execute(&self, query: &Query) -> QueryResult {
+        let plan = self.plan(query);
+        self.execute_plan(&plan)
+    }
+
+    /// Execute an already-built [`QueryPlan`] through the scalar pipeline
+    /// (plan once with [`plan`](Self::plan), execute many times).
+    pub fn execute_plan(&self, plan: &QueryPlan) -> QueryResult {
+        let mut result = QueryResult::default();
+        match &plan.access {
+            AccessPath::Hermit { pred, host } => {
+                let Some(SecondaryIndex::Hermit { trs, .. }) = self.index(pred.column) else {
+                    return result; // index dropped since planning
+                };
+                self.run_hermit(trs, *host, *pred, &plan.recheck, &mut result);
+            }
+            AccessPath::Baseline { pred } => {
+                let Some(SecondaryIndex::Baseline(tree)) = self.index(pred.column) else {
+                    return result;
+                };
+                self.run_baseline(tree, *pred, &plan.recheck, &mut result);
+            }
+            AccessPath::CompositeBaseline { index, leading, value }
+            | AccessPath::CompositeHermit { index, leading, value, .. } => {
+                let mut candidates = Vec::new();
+                if !self.composites().gather_box_candidates(
+                    *index,
+                    *leading,
+                    *value,
+                    &mut result.breakdown,
+                    &mut candidates,
+                ) {
+                    return result;
+                }
+                self.resolve_and_validate(candidates, &plan.recheck, &mut result);
+            }
+            AccessPath::SeqScan => {
+                self.run_scan_into(&plan.recheck, plan.limit, &mut result);
+            }
+        }
+        self.finish_plan(plan, &mut result);
+        result
+    }
+
+    /// Apply a plan's limit and projection to a validated result.
+    ///
+    /// Projection rows are fetched page-grouped through
+    /// [`crate::Heap::for_each_row_batch`] — each heap page pinned once —
+    /// but `projected` stays aligned with `rows` order.
+    pub(crate) fn finish_plan(&self, plan: &QueryPlan, result: &mut QueryResult) {
+        if let Some(n) = plan.limit {
+            result.rows.truncate(n);
+        }
+        if let Some(cols) = &plan.projection {
+            let t = Instant::now();
+            let mut projected = vec![Vec::new(); result.rows.len()];
+            let mut order = Vec::new();
+            self.heap().for_each_row_batch(&result.rows, &mut order, |i, row| {
+                projected[i] = match row {
+                    Some(row) => cols.iter().map(|&c| row.value(c)).collect(),
+                    None => vec![Value::Null; cols.len()],
+                };
+            });
+            result.projected = Some(projected);
+            result.breakdown.base_table += t.elapsed();
+        }
+    }
+
     /// Execute a range lookup on an indexed column, dispatching to the
     /// Hermit or baseline pipeline based on the index kind.
     ///
-    /// `extra` is an optional second predicate validated at the base table
-    /// (the Stock workload's `TIME BETWEEN ? AND ?` conjunct).
+    /// This is the legacy single-predicate surface, kept as the scalar
+    /// oracle for the equivalence suites: it *forces* the index access path
+    /// (no planner, no scan fallback — an unindexed column still returns an
+    /// empty result). `extra` is an optional second predicate validated at
+    /// the base table (the Stock workload's `TIME BETWEEN ? AND ?`
+    /// conjunct); [`Query`] generalizes it to arbitrary conjunctions.
     pub fn lookup_range(&self, pred: RangePredicate, extra: Option<RangePredicate>) -> QueryResult {
+        let mut result = QueryResult::default();
         match self.index(pred.column) {
             Some(SecondaryIndex::Hermit { trs, host }) => {
-                self.hermit_lookup(trs, *host, pred, extra)
+                let recheck: Vec<RangePredicate> = std::iter::once(pred).chain(extra).collect();
+                self.run_hermit(trs, *host, pred, &recheck, &mut result);
             }
-            Some(SecondaryIndex::Baseline(tree)) => self.baseline_lookup(tree, pred, extra),
-            None => QueryResult::default(),
+            Some(SecondaryIndex::Baseline(tree)) => {
+                let recheck: Vec<RangePredicate> = extra.into_iter().collect();
+                self.run_baseline(tree, pred, &recheck, &mut result);
+            }
+            None => {}
         }
+        result
     }
 
     /// Point-lookup convenience wrapper.
@@ -99,15 +189,17 @@ impl Database {
         self.lookup_range(RangePredicate::point(column, v), None)
     }
 
-    fn hermit_lookup(
+    /// Phases 1–4 of the Hermit route: TRS-Tree translation, host-index
+    /// probes, then the shared resolve+validate tail with `recheck` (which
+    /// must include `pred` itself — Hermit candidates are approximate).
+    fn run_hermit(
         &self,
         trs: &hermit_trs::TrsTree,
         host: ColumnId,
         pred: RangePredicate,
-        extra: Option<RangePredicate>,
-    ) -> QueryResult {
-        let mut result = QueryResult::default();
-
+        recheck: &[RangePredicate],
+        result: &mut QueryResult,
+    ) {
         // Phase 1: TRS-Tree search.
         let t0 = Instant::now();
         let approx = trs.lookup(pred.lb, pred.ub);
@@ -118,7 +210,7 @@ impl Database {
         let t1 = Instant::now();
         let Some(SecondaryIndex::Baseline(host_tree)) = self.index(host) else {
             // Host index dropped out from under us — treat as no results.
-            return result;
+            return;
         };
         let had_outliers = !approx.tids.is_empty();
         let mut candidates: Vec<Tid> = approx.tids;
@@ -137,18 +229,18 @@ impl Database {
         result.breakdown.host_index += t1.elapsed();
 
         // Phase 3 + 4: resolve and validate.
-        self.resolve_and_validate(candidates, pred, extra, true, &mut result);
-        result
+        self.resolve_and_validate(candidates, recheck, result);
     }
 
-    fn baseline_lookup(
+    /// Baseline pipeline: exact index range scan, then the shared tail with
+    /// the residual conjuncts only.
+    fn run_baseline(
         &self,
         tree: &hermit_btree::BPlusTree<F64Key, Tid>,
         pred: RangePredicate,
-        extra: Option<RangePredicate>,
-    ) -> QueryResult {
-        let mut result = QueryResult::default();
-
+        recheck: &[RangePredicate],
+        result: &mut QueryResult,
+    ) {
         // Secondary-index search (charged to the host-index phase so the
         // breakdown figures line up across methods).
         let t0 = Instant::now();
@@ -159,20 +251,41 @@ impl Database {
         result.breakdown.host_index += t0.elapsed();
 
         // The baseline's index hits are exact on `pred`; validation is only
-        // needed for the extra conjunct, but the tuples are fetched either
-        // way (a real query returns rows, not tids).
-        self.resolve_and_validate(candidates, pred, extra, false, &mut result);
-        result
+        // needed for the residual conjuncts, but the tuples are fetched
+        // either way (a real query returns rows, not tids).
+        self.resolve_and_validate(candidates, recheck, result);
     }
 
-    /// Shared tail of both pipelines: primary-index resolution (logical
-    /// pointers) and base-table fetch + validation.
+    /// The scan fallback: stream every live heap row, validating all
+    /// conjuncts in-scan. Exact (no false positives, nothing unresolved),
+    /// and the only path that honors `limit` by stopping early.
+    pub(crate) fn run_scan_into(
+        &self,
+        checks: &[RangePredicate],
+        limit: Option<usize>,
+        result: &mut QueryResult,
+    ) {
+        let t = Instant::now();
+        let limit = limit.unwrap_or(usize::MAX);
+        let rows = &mut result.rows;
+        if limit > 0 {
+            self.heap().for_each_live_row(|loc, row| {
+                if checks.iter().all(|p| p.matches(row.f64(p.column))) {
+                    rows.push(loc);
+                }
+                rows.len() < limit
+            });
+        }
+        result.breakdown.base_table += t.elapsed();
+    }
+
+    /// Shared tail of the index pipelines: primary-index resolution
+    /// (logical pointers) and base-table fetch + validation of every
+    /// `recheck` conjunct.
     fn resolve_and_validate(
         &self,
         candidates: Vec<Tid>,
-        pred: RangePredicate,
-        extra: Option<RangePredicate>,
-        validate_main: bool,
+        recheck: &[RangePredicate],
         result: &mut QueryResult,
     ) {
         // Phase 3: primary-index lookups (logical scheme only).
@@ -196,19 +309,14 @@ impl Database {
         };
 
         // Phase 4: base-table fetch + validation. One heap visit per
-        // candidate: both predicate columns are read from the same row
-        // view, so an `extra` conjunct no longer resolves the page twice.
+        // candidate: every recheck column is read from the same row view,
+        // so extra conjuncts never resolve the page twice.
         let t3 = Instant::now();
         for loc in locs {
             self.heap().with_row(loc, |row| match row {
                 None => result.unresolved += 1,
                 Some(row) => {
-                    // Baseline hits are exact on `pred` (the row is still
-                    // fetched — a real query returns tuples, not tids);
-                    // Hermit candidates re-check the original predicate.
-                    let main_ok = !validate_main || pred.matches(row.f64(pred.column));
-                    let extra_ok = extra.is_none_or(|e| e.matches(row.f64(e.column)));
-                    if main_ok && extra_ok {
+                    if recheck.iter().all(|p| p.matches(row.f64(p.column))) {
                         result.rows.push(loc);
                     } else {
                         result.false_positives += 1;

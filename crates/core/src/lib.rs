@@ -21,18 +21,31 @@
 //! screen candidate (target, host) pairs with Pearson/Spearman coefficients
 //! over a sample and recommend a host column whose index already exists.
 
+//! [`query`] and [`plan`] form the unified query surface: a declarative
+//! [`Query`] of arbitrary conjuncts is turned into an inspectable, costed
+//! [`QueryPlan`] (EXPLAIN via `Display`) choosing among the Hermit route, a
+//! baseline index, a composite box scan, or a sequential-scan fallback;
+//! [`Database::execute`] and [`Database::execute_batch`] run plans through
+//! the scalar and vectorized pipelines respectively.
+
 pub mod batch;
 pub mod breakdown;
 pub mod composite;
 pub mod correlation;
 pub mod database;
+pub mod error;
 pub mod executor;
 pub mod index;
+pub mod plan;
+pub mod query;
 
 pub use batch::BatchOptions;
 pub use breakdown::{InsertBreakdown, LookupBreakdown, Phase};
 pub use composite::{CompositeIndex, CompositeIndexes};
 pub use correlation::{discover_correlations, CorrelationReport, DiscoveryConfig};
 pub use database::{Database, Heap, MemoryReport};
+pub use error::CoreError;
 pub use executor::{QueryResult, RangePredicate};
 pub use index::SecondaryIndex;
+pub use plan::{AccessPath, PlanKind, QueryPlan};
+pub use query::Query;

@@ -17,6 +17,13 @@ pub enum StorageError {
         /// Encoded row location that failed to resolve.
         loc: u64,
     },
+    /// A primary key did not resolve to a live row. Distinct from
+    /// [`StorageError::RowNotFound`], whose payload is an encoded *row
+    /// location*, not a key.
+    PkNotFound {
+        /// The primary key that failed to resolve.
+        pk: i64,
+    },
     /// A value's type did not match the column's declared type.
     TypeMismatch {
         /// Column the value was destined for.
@@ -59,6 +66,7 @@ impl fmt::Display for StorageError {
                 write!(f, "column {column} out of range for schema of width {width}")
             }
             StorageError::RowNotFound { loc } => write!(f, "row location {loc:#x} not found"),
+            StorageError::PkNotFound { pk } => write!(f, "primary key {pk} not found"),
             StorageError::TypeMismatch { column, expected } => {
                 write!(f, "type mismatch on column {column}: expected {expected}")
             }

@@ -260,6 +260,34 @@ impl PagedTable {
         Ok(out)
     }
 
+    /// Stream every live row through a [`RowRef`] visitor, page by page in
+    /// allocation order: each heap page is pinned once and all of its live
+    /// rows are visited under that single pool access. The visitor returns
+    /// `false` to stop early (a `LIMIT`ed sequential scan); the final
+    /// return value reports whether the scan ran to completion.
+    ///
+    /// Unreadable pages are skipped — their rows are as good as gone, the
+    /// same stance [`with_row`](Self::with_row) takes. `f` runs while the
+    /// page is pinned, so it must not re-enter the buffer pool.
+    pub fn for_each_live_row(&self, mut f: impl FnMut(RowLoc, RowRef<'_>) -> bool) -> bool {
+        let pages = self.pages.lock().clone();
+        for pid in pages {
+            let mut keep_going = true;
+            let _ = self.pool.read(pid, |page| {
+                for (slot, bytes) in page.iter() {
+                    if !f(RowLoc::new(pid as u32, slot as u32), RowRef::Encoded { bytes }) {
+                        keep_going = false;
+                        break;
+                    }
+                }
+            });
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Project two numeric columns over all live rows (Algorithm 1's
     /// temporary table), skipping NULLs.
     pub fn project_pairs(
@@ -417,6 +445,34 @@ mod tests {
         for (i, &loc) in cand.iter().enumerate() {
             assert_eq!(got[i], Some(t.value_f64(loc, 1).unwrap()), "candidate {i} mismatch");
         }
+    }
+
+    #[test]
+    fn for_each_live_row_streams_in_page_order_and_stops() {
+        let t = make_table(64);
+        let n = 1500usize;
+        let locs: Vec<RowLoc> =
+            (0..n).map(|i| t.insert(&row(i as i64, i as f64, None)).unwrap()).collect();
+        t.delete(locs[7]).unwrap();
+        t.pool().stats().reset();
+        let mut seen = Vec::new();
+        let complete = t.for_each_live_row(|_, r| {
+            seen.push(r.f64(0).unwrap() as i64);
+            true
+        });
+        assert!(complete);
+        assert_eq!(seen.len(), n - 1);
+        assert!(!seen.contains(&7));
+        let accesses = t.pool().stats().hits() + t.pool().stats().misses();
+        assert_eq!(accesses, t.page_count() as u64, "one pool access per page");
+        // Early stop terminates without visiting the rest.
+        let mut count = 0;
+        let complete = t.for_each_live_row(|_, _| {
+            count += 1;
+            count < 10
+        });
+        assert!(!complete);
+        assert_eq!(count, 10);
     }
 
     #[test]

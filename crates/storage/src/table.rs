@@ -218,6 +218,27 @@ impl Table {
         }
     }
 
+    /// Stream every live row through a [`RowRef`] visitor, in insertion
+    /// order. The visitor returns `false` to stop early (a `LIMIT`ed
+    /// sequential scan); the final return value reports whether the scan
+    /// ran to completion.
+    ///
+    /// This is the full-table-scan access path: unlike
+    /// [`scan`](Self::scan), no per-row liveness re-check or allocation
+    /// happens downstream — the caller reads any cells it needs from the
+    /// borrowed row view.
+    pub fn for_each_live_row(&self, mut f: impl FnMut(RowLoc, RowRef<'_>) -> bool) -> bool {
+        for idx in 0..self.total_rows {
+            if self.is_deleted(idx) {
+                continue;
+            }
+            if !f(RowLoc::from_index(idx), RowRef::Columnar { table: self, idx }) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Tombstone a row. Idempotent errors: deleting a dead row is
     /// `RowNotFound`.
     pub fn delete(&mut self, loc: RowLoc) -> Result<()> {
@@ -439,6 +460,29 @@ mod tests {
         let scanned: Vec<_> = t.scan().collect();
         assert_eq!(scanned.len(), 4);
         assert!(!scanned.contains(&locs[2]));
+    }
+
+    #[test]
+    fn for_each_live_row_streams_and_stops() {
+        let mut t = Table::new(schema());
+        let locs: Vec<_> = (0..6).map(|i| t.insert(&row(i, i as f64, None)).unwrap()).collect();
+        t.delete(locs[1]).unwrap();
+        let mut seen = Vec::new();
+        let complete = t.for_each_live_row(|loc, r| {
+            seen.push((loc, r.f64(1).unwrap()));
+            true
+        });
+        assert!(complete);
+        assert_eq!(seen.len(), 5);
+        assert!(seen.iter().all(|(loc, _)| *loc != locs[1]));
+        // Early stop after 2 rows.
+        let mut n = 0;
+        let complete = t.for_each_live_row(|_, _| {
+            n += 1;
+            n < 2
+        });
+        assert!(!complete);
+        assert_eq!(n, 2);
     }
 
     #[test]

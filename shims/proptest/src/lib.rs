@@ -1,7 +1,8 @@
 //! Workspace-local stand-in for the `proptest` crate.
 //!
 //! The build container has no crates.io access, so this shim implements the
-//! subset of proptest the repo's suites use: the [`Strategy`] trait with
+//! subset of proptest the repo's suites use: the [`strategy::Strategy`]
+//! trait with
 //! `prop_map`/`boxed`, strategies for numeric ranges, tuples, `Just`,
 //! `any::<T>()`, `collection::vec`, `option::of`, `prop_oneof!`, and the
 //! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
