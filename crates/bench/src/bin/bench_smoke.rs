@@ -16,13 +16,15 @@
 //! taken out of the equation.
 
 use hermit_bench::harness::measure_ops_with;
+use hermit_core::shared::{MaintenanceConfig, MaintenanceWorker, SharedDatabase};
 use hermit_core::{BatchOptions, Database, PlanKind, Query, RangePredicate};
 use hermit_storage::paged::{BufferPool, PagedTable, SimulatedPageStore};
 use hermit_storage::{ColumnDef, Schema, TidScheme, Value};
 use hermit_workloads::synthetic::cols;
 use hermit_workloads::{build_synthetic, CorrelationKind, QueryGen, SyntheticConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const RANGE_SELECTIVITY: f64 = 0.001;
 const RANGE_QUERIES: usize = 256;
@@ -112,6 +114,116 @@ fn plan_counts(db: &Database, preds: &[RangePredicate]) -> String {
     format!("{{{}}}", fields.join(", "))
 }
 
+/// In-memory pk/host/target database with host = 2·target, baseline host
+/// index + Hermit target index — the shape the concurrent section serves.
+fn build_mem_simple(rows: usize) -> Database {
+    let schema = Schema::new(vec![
+        ColumnDef::int("pk"),
+        ColumnDef::float("host"),
+        ColumnDef::float("target"),
+    ]);
+    let mut db = Database::new(schema, 0, TidScheme::Physical);
+    for i in 0..rows {
+        let m = i as f64;
+        db.insert(&[Value::Int(i as i64), Value::Float(2.0 * m), Value::Float(m)]).unwrap();
+    }
+    db.create_baseline_index(1, true).unwrap();
+    db.create_hermit_index(2, 1).unwrap();
+    db
+}
+
+/// Reader q/s with `readers` query threads racing one continuous
+/// insert/delete writer thread over a [`SharedDatabase`].
+fn concurrent_throughput(rows: usize, readers: usize, budget: Duration) -> (f64, f64) {
+    let shared = SharedDatabase::new(build_mem_simple(rows));
+    let queries: Vec<Query> = {
+        let mut gen = QueryGen::new((0.0, (rows - 1) as f64), 0x5E0E + readers as u64);
+        gen.ranges(RANGE_SELECTIVITY, RANGE_QUERIES)
+            .into_iter()
+            .map(|(lb, ub)| Query::new().range(2, lb, ub))
+            .collect()
+    };
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let elapsed = crossbeam::thread::scope(|s| {
+        // One writer: steady insert/delete churn on its own pk range.
+        {
+            let shared = shared.clone();
+            let (stop, writes) = (&stop, &writes);
+            s.spawn(move |_| {
+                let mut pk = 10_000_000i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let m = (pk % rows as i64) as f64 + 0.5;
+                    shared
+                        .insert(&[Value::Int(pk), Value::Float(2.0 * m), Value::Float(m)])
+                        .unwrap();
+                    if pk % 2 == 0 {
+                        let _ = shared.delete_by_pk(pk - 1);
+                    }
+                    pk += 1;
+                    writes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for r in 0..readers {
+            let shared = shared.clone();
+            let (stop, reads, queries) = (&stop, &reads, &queries);
+            s.spawn(move |_| {
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(shared.execute(&queries[i % queries.len()]).rows.len());
+                    i += 1;
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let t0 = Instant::now();
+        std::thread::sleep(budget);
+        stop.store(true, Ordering::Relaxed);
+        t0.elapsed()
+    })
+    .unwrap();
+    let secs = elapsed.as_secs_f64();
+    (reads.load(Ordering::Relaxed) as f64 / secs, writes.load(Ordering::Relaxed) as f64 / secs)
+}
+
+/// Outlier-heavy churn with the background maintenance worker running:
+/// records completed reorganization passes and the outlier share before the
+/// worker catches up vs after. The acceptance bar is `passes > 0`.
+fn reorg_under_churn(rows: usize) -> String {
+    let shared = SharedDatabase::new(build_mem_simple(rows));
+    // Regime change: vacate a fifth of the domain, refill it with a
+    // different (locally linear, hence refittable) correlation.
+    let lo = rows as i64 / 5;
+    let hi = 2 * rows as i64 / 5;
+    for pk in lo..hi {
+        shared.delete_by_pk(pk).unwrap();
+    }
+    for i in 0..(2 * (hi - lo)) {
+        let m = lo as f64 + i as f64 * 0.5;
+        shared
+            .insert(&[Value::Int(20_000_000 + i), Value::Float(9.0 * m + 77.0), Value::Float(m)])
+            .unwrap();
+    }
+    let share_before = shared.outlier_share(2).unwrap();
+    let worker = MaintenanceWorker::start(shared.clone(), MaintenanceConfig::default());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while shared.reorg_queue_len() > 0 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let (sweeps, candidates) = worker.stop();
+    let passes = shared.reorg_passes();
+    let share_after = shared.outlier_share(2).unwrap();
+    println!(
+        "reorg   churn  passes {passes}   candidates {candidates}   outlier share {share_before:.3} -> {share_after:.3}"
+    );
+    format!(
+        "{{\"passes\": {passes}, \"worker_sweeps\": {sweeps}, \"candidates\": {candidates}, \
+         \"outlier_share_before\": {share_before:.4}, \"outlier_share_after\": {share_after:.4}}}"
+    )
+}
+
 fn json_variants(variants: &[Variant]) -> String {
     let fields: Vec<String> =
         variants.iter().map(|v| format!("\"{}\": {:.1}", v.name, v.queries_per_sec)).collect();
@@ -197,9 +309,27 @@ fn main() {
         ));
     }
 
+    // Concurrent serving: reader throughput at 1/2/4 query threads racing
+    // one continuous insert/delete writer, plus the §4.4 background-reorg
+    // counters under an outlier-heavy churn workload.
+    let mut reader_fields = Vec::new();
+    let mut writer_field = 0.0;
+    for readers in [1usize, 2, 4] {
+        let (qps, wps) = concurrent_throughput(rows, readers, BUDGET);
+        println!(
+            "shared {readers} reader(s) + 1 writer: {qps:>12.0} q/s   (writer {wps:>10.0} ops/s)"
+        );
+        reader_fields.push(format!("\"readers_{readers}_qps\": {qps:.1}"));
+        writer_field = wps; // record the 4-reader run's writer rate
+    }
+    let reorg_json = reorg_under_churn(rows);
+
     let json = format!(
-        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
+        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
         sections.join(",\n"),
+        reader_fields.join(", "),
+        writer_field,
+        reorg_json,
         headline
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| {

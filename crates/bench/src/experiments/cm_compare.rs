@@ -24,6 +24,7 @@ fn cm_lookup(db: &Database, cm: &CorrelationMap, pred: RangePredicate) -> usize 
     let Some(hermit_core::SecondaryIndex::Baseline(host_tree)) = db.index(cols::COL_B) else {
         return 0;
     };
+    let host_tree = host_tree.read();
     let ranges = cm.lookup(pred.lb, pred.ub);
     let mut candidates: Vec<Tid> = Vec::new();
     for (lo, hi) in ranges {
@@ -103,6 +104,7 @@ pub fn fig27_30_cm_comparison(scale: Scale) {
             let pairs: Vec<(f64, f64, Tid)> = {
                 let hermit_core::Heap::Mem(table) = hermit.heap() else { unreachable!() };
                 table
+                    .read()
                     .project_pairs(cols::COL_C, cols::COL_B)
                     .unwrap()
                     .into_iter()
@@ -111,7 +113,7 @@ pub fn fig27_30_cm_comparison(scale: Scale) {
             };
             let host_domain = {
                 let hermit_core::Heap::Mem(table) = hermit.heap() else { unreachable!() };
-                table.stats(cols::COL_B).unwrap().range().unwrap()
+                table.read().stats(cols::COL_B).unwrap().range().unwrap()
             };
             for &tb in CM_TARGET_BUCKETS {
                 for &hb in CM_HOST_BUCKETS {

@@ -171,7 +171,7 @@ impl Database {
                 let Some(SecondaryIndex::Baseline(tree)) = self.index(pred.column) else {
                     return result;
                 };
-                self.gather_baseline(tree, *pred, scratch, &mut result);
+                self.gather_baseline(&tree.read(), *pred, scratch, &mut result);
             }
             AccessPath::CompositeBaseline { index, leading, value }
             | AccessPath::CompositeHermit { index, leading, value, .. } => {
@@ -219,7 +219,7 @@ impl Database {
             }
             Some(SecondaryIndex::Baseline(tree)) => {
                 scratch.recheck.extend(extra);
-                self.gather_baseline(tree, pred, scratch, &mut result);
+                self.gather_baseline(&tree.read(), pred, scratch, &mut result);
             }
             None => return result,
         }
@@ -231,13 +231,13 @@ impl Database {
     /// `false` when the host index has dropped out from under the TRS-Tree.
     fn gather_hermit(
         &self,
-        trs: &hermit_trs::TrsTree,
+        trs: &hermit_trs::ConcurrentTrsTree,
         host: hermit_storage::ColumnId,
         pred: RangePredicate,
         scratch: &mut BatchScratch,
         result: &mut QueryResult,
     ) -> bool {
-        // Phase 1: TRS-Tree search into reused buffers.
+        // Phase 1: TRS-Tree search into reused buffers (read latch).
         let t0 = Instant::now();
         trs.lookup_into(pred.lb, pred.ub, &mut scratch.trs, &mut scratch.approx);
         result.breakdown.trs_tree += t0.elapsed();
@@ -249,6 +249,7 @@ impl Database {
         let Some(SecondaryIndex::Baseline(host_tree)) = self.index(host) else {
             return false;
         };
+        let host_tree = host_tree.read();
         let candidates = &mut scratch.candidates;
         candidates.extend_from_slice(&scratch.approx.tids);
         let had_outliers = !candidates.is_empty();
@@ -260,8 +261,9 @@ impl Database {
                     .for_each_in_range(&F64Key(lo), &F64Key(hi), |_, tid| candidates.push(*tid));
             }
         }
-        // The unioned ranges are disjoint, so duplicates only arise between
-        // outlier tids and range results.
+        drop(host_tree); // release before resolution/validation, like the scalar path
+                         // The unioned ranges are disjoint, so duplicates only arise between
+                         // outlier tids and range results.
         if had_outliers {
             candidates.sort_unstable();
             candidates.dedup();
@@ -303,8 +305,9 @@ impl Database {
             }
             TidScheme::Logical => {
                 let t2 = Instant::now();
+                let primary = self.primary();
                 for tid in &scratch.candidates {
-                    match self.primary().get(tid.as_pk()) {
+                    match primary.get(tid.as_pk()) {
                         Some(loc) => scratch.locs.push(loc),
                         None => result.unresolved += 1,
                     }

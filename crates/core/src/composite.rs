@@ -106,6 +106,12 @@ impl CompositeIndexes {
         self.indexes.get(i)
     }
 
+    /// Mutable access for background maintenance (composite Hermit
+    /// reorganization under the registry write latch).
+    pub(crate) fn get_mut_for_maintenance(&mut self, i: usize) -> Option<&mut CompositeIndex> {
+        self.indexes.get_mut(i)
+    }
+
     /// Registry position of the composite baseline index on
     /// `(leading, host)`, if one exists — the companion a composite Hermit
     /// index routes its translated probes through.
@@ -346,10 +352,11 @@ fn finish(
         TidScheme::Physical => candidates.into_iter().map(|t| t.as_loc()).collect(),
         TidScheme::Logical => {
             let t = Instant::now();
+            let primary = db.primary();
             let locs = candidates
                 .into_iter()
                 .filter_map(|tid| {
-                    let loc = db.primary().get(tid.as_pk());
+                    let loc = primary.get(tid.as_pk());
                     if loc.is_none() {
                         result.unresolved += 1;
                     }
@@ -443,6 +450,7 @@ pub(crate) fn for_each_heap_pair(
 ) -> hermit_storage::Result<()> {
     match heap {
         Heap::Mem(table) => {
+            let table = table.read();
             let ca = table.column(a)?;
             let cb = table.column(b)?;
             let cpk = table.column(pk_col)?;
@@ -476,7 +484,7 @@ mod tests {
             ColumnDef::float("dj"),
             ColumnDef::float("sp"),
         ]);
-        let mut db = Database::new(schema, 0, scheme);
+        let db = Database::new(schema, 0, scheme);
         for t in 0..n {
             // Slow upward drift with deterministic wiggle.
             let dj = 3_000.0 + t as f64 * 0.5 + ((t % 97) as f64 - 48.0);
@@ -488,6 +496,7 @@ mod tests {
 
     fn ground_truth(db: &Database, tl: f64, tu: f64, sl: f64, su: f64) -> usize {
         let Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let time = table.column(0).unwrap();
         let sp = table.column(2).unwrap();
         table
@@ -569,7 +578,7 @@ mod tests {
 
     #[test]
     fn composite_insert_maintenance() {
-        let mut db = stock_db(TidScheme::Physical, 5_000);
+        let db = stock_db(TidScheme::Physical, 5_000);
         let mut comp = CompositeIndexes::new();
         comp.create_baseline(&db, 0, 1).unwrap();
         let hermit = comp.create_hermit(&db, 0, 2, 1, TrsParams::default()).unwrap();

@@ -12,6 +12,25 @@
 //!
 //! The tuple-identifier scheme ([`TidScheme`]) is fixed per database, as in
 //! real systems (PostgreSQL = physical, MySQL = logical).
+//!
+//! # Concurrency
+//!
+//! Every component a query or a DML statement touches is individually
+//! latched, so reads and writes take `&self` and a database can be served
+//! from many threads at once through [`crate::shared::SharedDatabase`]:
+//!
+//! * the in-memory heap sits behind a coarse `RwLock` (the paged heap's
+//!   buffer pool is already internally synchronized);
+//! * the primary index and the composite-index registry sit behind
+//!   `RwLock`s;
+//! * baseline secondary B+-trees each carry their own `RwLock`, and Hermit
+//!   indexes use [`hermit_trs::ConcurrentTrsTree`] — the Appendix-B
+//!   protocol with a side buffer for writes that race a background
+//!   reorganization.
+//!
+//! Structural DDL (creating indexes, changing TRS parameters) still takes
+//! `&mut self`: the index *registry* itself is not latched, which keeps
+//! every per-query lookup latch-free. Build the schema first, then share.
 
 use crate::breakdown::InsertBreakdown;
 use crate::composite::{build_composite_tree, build_composite_trs, CompositeIndexes};
@@ -24,14 +43,20 @@ use hermit_storage::{
     ColumnId, ColumnStats, F64Key, RowLoc, RowRef, Schema, StorageError, Table, Tid, TidScheme,
     Value,
 };
-use hermit_trs::{PairSource, TrsParams, TrsTree};
+use hermit_trs::{ConcurrentTrsTree, PairSource, TrsParams, TrsTree};
+use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// The table heap backing a database: in-memory or paged.
+///
+/// The in-memory substrate carries a coarse reader-writer latch (appends
+/// and tombstones take the write side briefly; scans and fetches share the
+/// read side). The paged substrate needs none — its buffer pool and stats
+/// are already internally synchronized, so it is shared as-is.
 pub enum Heap {
-    /// In-memory columnar heap (DBMS-X substrate).
-    Mem(Table),
+    /// In-memory columnar heap (DBMS-X substrate) behind a coarse latch.
+    Mem(RwLock<Table>),
     /// Slotted-page heap behind a buffer pool (PostgreSQL substrate).
     Paged(PagedTable),
 }
@@ -40,7 +65,7 @@ impl Heap {
     /// Live row count.
     pub fn len(&self) -> usize {
         match self {
-            Heap::Mem(t) => t.len(),
+            Heap::Mem(t) => t.read().len(),
             Heap::Paged(t) => t.len(),
         }
     }
@@ -50,17 +75,18 @@ impl Heap {
         self.len() == 0
     }
 
-    /// Schema of the heap.
-    pub fn schema(&self) -> &Schema {
+    /// Schema of the heap (cloned out from under the latch; schemas are a
+    /// handful of column definitions).
+    pub fn schema(&self) -> Schema {
         match self {
-            Heap::Mem(t) => t.schema(),
-            Heap::Paged(t) => t.schema(),
+            Heap::Mem(t) => t.read().schema().clone(),
+            Heap::Paged(t) => t.schema().clone(),
         }
     }
 
-    fn insert(&mut self, row: &[Value]) -> hermit_storage::Result<RowLoc> {
+    fn insert(&self, row: &[Value]) -> hermit_storage::Result<RowLoc> {
         match self {
-            Heap::Mem(t) => t.insert(row),
+            Heap::Mem(t) => t.write().insert(row),
             Heap::Paged(t) => t.insert(row),
         }
     }
@@ -68,7 +94,7 @@ impl Heap {
     /// Numeric cell access (`None` for NULL); the validation hot path.
     pub fn value_f64(&self, loc: RowLoc, cid: ColumnId) -> hermit_storage::Result<Option<f64>> {
         match self {
-            Heap::Mem(t) => t.value_f64(loc, cid),
+            Heap::Mem(t) => t.read().value_f64(loc, cid),
             Heap::Paged(t) => t.value_f64(loc, cid),
         }
     }
@@ -78,7 +104,7 @@ impl Heap {
     /// `None` for deleted/unresolvable rows.
     pub fn with_row<T>(&self, loc: RowLoc, f: impl FnOnce(Option<RowRef<'_>>) -> T) -> T {
         match self {
-            Heap::Mem(t) => t.with_row(loc, f),
+            Heap::Mem(t) => t.read().with_row(loc, f),
             Heap::Paged(t) => t.with_row(loc, f),
         }
     }
@@ -86,8 +112,9 @@ impl Heap {
     /// Batched row visitation for validation: on the paged substrate the
     /// candidates are visited grouped by page (each page pinned once, sorted
     /// through the reusable `order` buffer); the in-memory substrate visits
-    /// in input order. `f` gets each candidate's index into `locs` and its
-    /// row view, and must not re-enter the heap.
+    /// in input order under one read-latch acquisition. `f` gets each
+    /// candidate's index into `locs` and its row view, and must not
+    /// re-enter the heap.
     pub fn for_each_row_batch(
         &self,
         locs: &[RowLoc],
@@ -95,7 +122,7 @@ impl Heap {
         f: impl FnMut(usize, Option<RowRef<'_>>),
     ) {
         match self {
-            Heap::Mem(t) => t.for_each_row_batch(locs, f),
+            Heap::Mem(t) => t.read().for_each_row_batch(locs, f),
             Heap::Paged(t) => t.for_each_row_batch(locs, order, f),
         }
     }
@@ -103,15 +130,17 @@ impl Heap {
     /// Full-row fetch.
     pub fn get(&self, loc: RowLoc) -> hermit_storage::Result<Vec<Value>> {
         match self {
-            Heap::Mem(t) => t.get(loc),
+            Heap::Mem(t) => t.read().get(loc),
             Heap::Paged(t) => t.get(loc),
         }
     }
 
-    fn delete(&mut self, loc: RowLoc) -> hermit_storage::Result<()> {
+    /// Fetch-and-tombstone as one atomic heap operation (one latch
+    /// acquisition / one page access), returning the old row values.
+    fn delete_returning(&self, loc: RowLoc) -> hermit_storage::Result<Vec<Value>> {
         match self {
-            Heap::Mem(t) => t.delete(loc),
-            Heap::Paged(t) => t.delete(loc),
+            Heap::Mem(t) => t.write().delete_returning(loc),
+            Heap::Paged(t) => t.delete_returning(loc),
         }
     }
 
@@ -119,18 +148,19 @@ impl Heap {
     /// "optimizer statistics").
     pub fn stats(&self, cid: ColumnId) -> hermit_storage::Result<ColumnStats> {
         match self {
-            Heap::Mem(t) => t.stats(cid).cloned(),
+            Heap::Mem(t) => t.read().stats(cid).cloned(),
             Heap::Paged(t) => t.stats(cid),
         }
     }
 
     /// Stream every live row through a `RowRef` visitor; the visitor
     /// returns `false` to stop early. Page-sequential on the paged
-    /// substrate (one pool access per page). This is the seq-scan access
-    /// path of the query planner.
+    /// substrate (one pool access per page); on the in-memory substrate the
+    /// read latch is held for the duration of the scan (writers wait, other
+    /// readers proceed). This is the seq-scan access path of the planner.
     pub fn for_each_live_row(&self, f: impl FnMut(RowLoc, RowRef<'_>) -> bool) -> bool {
         match self {
-            Heap::Mem(t) => t.for_each_live_row(f),
+            Heap::Mem(t) => t.read().for_each_live_row(f),
             Heap::Paged(t) => t.for_each_live_row(f),
         }
     }
@@ -141,7 +171,7 @@ impl Heap {
         host: ColumnId,
     ) -> hermit_storage::Result<Vec<(f64, f64, RowLoc)>> {
         match self {
-            Heap::Mem(t) => t.project_pairs(target, host),
+            Heap::Mem(t) => t.read().project_pairs(target, host),
             Heap::Paged(t) => t.project_pairs(target, host),
         }
     }
@@ -150,7 +180,7 @@ impl Heap {
     /// their storage lives on the device, which is the point of §7.8).
     pub fn memory_bytes(&self) -> usize {
         match self {
-            Heap::Mem(t) => t.memory_bytes(),
+            Heap::Mem(t) => t.read().memory_bytes(),
             Heap::Paged(_) => 0,
         }
     }
@@ -180,12 +210,14 @@ pub struct Database {
     heap: Heap,
     scheme: TidScheme,
     pk_col: ColumnId,
-    primary: HashPrimaryIndex,
-    /// Secondary indexes by indexed column.
+    primary: RwLock<HashPrimaryIndex>,
+    /// Secondary indexes by indexed column. The map itself only changes
+    /// under `&mut self` (DDL); each index is internally latched, so DML
+    /// and queries share it latch-free.
     secondary: BTreeMap<ColumnId, SecondaryIndex>,
     /// Composite `(leading, value)` secondary indexes, maintained on insert
     /// and visible to the query planner.
-    composites: CompositeIndexes,
+    composites: RwLock<CompositeIndexes>,
     /// Columns whose indexes existed before the experiment began; their
     /// maintenance cost is charged to "existing indexes" in breakdowns.
     existing: Vec<ColumnId>,
@@ -196,12 +228,12 @@ impl Database {
     /// In-memory database.
     pub fn new(schema: Schema, pk_col: ColumnId, scheme: TidScheme) -> Self {
         Database {
-            heap: Heap::Mem(Table::new(schema)),
+            heap: Heap::Mem(RwLock::new(Table::new(schema))),
             scheme,
             pk_col,
-            primary: HashPrimaryIndex::new(),
+            primary: RwLock::new(HashPrimaryIndex::new()),
             secondary: BTreeMap::new(),
-            composites: CompositeIndexes::new(),
+            composites: RwLock::new(CompositeIndexes::new()),
             existing: Vec::new(),
             trs_params: TrsParams::default(),
         }
@@ -214,9 +246,9 @@ impl Database {
             heap: Heap::Paged(table),
             scheme: TidScheme::Physical,
             pk_col,
-            primary: HashPrimaryIndex::new(),
+            primary: RwLock::new(HashPrimaryIndex::new()),
             secondary: BTreeMap::new(),
-            composites: CompositeIndexes::new(),
+            composites: RwLock::new(CompositeIndexes::new()),
             existing: Vec::new(),
             trs_params: TrsParams::default(),
         }
@@ -238,9 +270,15 @@ impl Database {
         self.pk_col
     }
 
-    /// The composite-index registry the planner consults.
-    pub fn composites(&self) -> &CompositeIndexes {
-        &self.composites
+    /// The composite-index registry the planner consults (read latch).
+    pub fn composites(&self) -> RwLockReadGuard<'_, CompositeIndexes> {
+        self.composites.read()
+    }
+
+    /// Write latch over the composite registry (maintenance: composite
+    /// Hermit reorganization runs under it).
+    pub(crate) fn composites_mut(&self) -> parking_lot::RwLockWriteGuard<'_, CompositeIndexes> {
+        self.composites.write()
     }
 
     /// Borrow the heap.
@@ -273,9 +311,9 @@ impl Database {
         self.secondary.keys().copied().collect()
     }
 
-    /// The primary index.
-    pub fn primary(&self) -> &HashPrimaryIndex {
-        &self.primary
+    /// The primary index (read latch).
+    pub fn primary(&self) -> RwLockReadGuard<'_, HashPrimaryIndex> {
+        self.primary.read()
     }
 
     /// Build the tid for a newly inserted row.
@@ -291,18 +329,26 @@ impl Database {
     pub fn resolve(&self, tid: Tid) -> Option<RowLoc> {
         match self.scheme {
             TidScheme::Physical => Some(tid.as_loc()),
-            TidScheme::Logical => self.primary.get(tid.as_pk()),
+            TidScheme::Logical => self.primary.read().get(tid.as_pk()),
         }
     }
 
     /// Insert a row, maintaining the primary and all secondary indexes.
-    pub fn insert(&mut self, row: &[Value]) -> hermit_storage::Result<Tid> {
+    ///
+    /// Takes `&self`: every touched structure is internally latched, so
+    /// writers may run concurrently with each other and with readers (see
+    /// the module docs and [`crate::shared`]).
+    pub fn insert(&self, row: &[Value]) -> hermit_storage::Result<Tid> {
         self.insert_timed(row, &mut InsertBreakdown::default())
     }
 
     /// Insert with per-phase timing (Fig. 22's harness).
+    ///
+    /// The tuple lands in the base table first and in the indexes second —
+    /// the real-RDBMS ordering the Appendix-B reorganization scan relies on
+    /// (a rebuild scan sees at least the tuples the index has).
     pub fn insert_timed(
-        &mut self,
+        &self,
         row: &[Value],
         breakdown: &mut InsertBreakdown,
     ) -> hermit_storage::Result<Tid> {
@@ -313,18 +359,17 @@ impl Database {
 
         let t0 = Instant::now();
         let loc = self.heap.insert(row)?;
-        self.primary.insert(pk, loc);
+        self.primary.write().insert(pk, loc);
         breakdown.table += t0.elapsed();
         let tid = self.make_tid(pk, loc);
 
         // Maintain secondary indexes, charging existing vs new separately.
-        let existing = self.existing.clone();
-        for (&col, index) in self.secondary.iter_mut() {
+        for (&col, index) in self.secondary.iter() {
             let t1 = Instant::now();
             match index {
                 SecondaryIndex::Baseline(tree) => {
                     if let Some(key) = row[col].as_f64() {
-                        tree.insert(F64Key(key), tid);
+                        tree.write().insert(F64Key(key), tid);
                     }
                 }
                 SecondaryIndex::Hermit { trs, host } => {
@@ -334,32 +379,43 @@ impl Database {
                 }
             }
             let d = t1.elapsed();
-            if existing.contains(&col) {
+            if self.existing.contains(&col) {
                 breakdown.existing_indexes += d;
             } else {
                 breakdown.new_indexes += d;
             }
         }
 
-        // Maintain database-owned composite indexes (charged as new).
-        if !self.composites.is_empty() {
+        // Maintain database-owned composite indexes (charged as new). The
+        // registry's shape only changes under `&mut self`, so the
+        // read-check before the write latch cannot race a registration.
+        if !self.composites.read().is_empty() {
             let t2 = Instant::now();
-            self.composites.maintain_insert(row, tid);
+            self.composites.write().maintain_insert(row, tid);
             breakdown.new_indexes += t2.elapsed();
         }
         Ok(tid)
     }
 
     /// Delete a row by primary key, maintaining all indexes.
-    pub fn delete_by_pk(&mut self, pk: i64) -> hermit_storage::Result<()> {
-        let loc = self.primary.get(pk).ok_or(StorageError::PkNotFound { pk })?;
-        let row = self.heap.get(loc)?;
+    ///
+    /// The heap delete happens *first*, as one atomic fetch-and-tombstone:
+    /// if it fails, no index has been touched and the database stays
+    /// consistent (previously the secondary and composite indexes were
+    /// updated before the heap, so a failing heap delete left them
+    /// disagreeing with the base table). Index entries are removed after; a
+    /// concurrent reader that still finds the stale tid simply fails tid
+    /// resolution / validation, exactly like any other dead candidate.
+    pub fn delete_by_pk(&self, pk: i64) -> hermit_storage::Result<()> {
+        let loc = self.primary.read().get(pk).ok_or(StorageError::PkNotFound { pk })?;
+        let row = self.heap.delete_returning(loc)?;
         let tid = self.make_tid(pk, loc);
-        for (&col, index) in self.secondary.iter_mut() {
+        self.primary.write().remove(pk);
+        for (&col, index) in self.secondary.iter() {
             match index {
                 SecondaryIndex::Baseline(tree) => {
                     if let Some(key) = row[col].as_f64() {
-                        tree.remove(&F64Key(key), &tid);
+                        tree.write().remove(&F64Key(key), &tid);
                     }
                 }
                 SecondaryIndex::Hermit { trs, .. } => {
@@ -369,11 +425,9 @@ impl Database {
                 }
             }
         }
-        if !self.composites.is_empty() {
-            self.composites.maintain_delete(&row, tid);
+        if !self.composites.read().is_empty() {
+            self.composites.write().maintain_delete(&row, tid);
         }
-        self.heap.delete(loc)?;
-        self.primary.remove(pk);
         Ok(())
     }
 
@@ -390,6 +444,7 @@ impl Database {
         let mut entries: Vec<(F64Key, Tid)> = Vec::with_capacity(self.heap.len());
         match &self.heap {
             Heap::Mem(t) => {
+                let t = t.read();
                 let keys = t.column(col)?;
                 let pks = t.column(self.pk_col)?;
                 for loc in t.scan() {
@@ -411,7 +466,7 @@ impl Database {
         }
         entries.sort_by_key(|a| a.0);
         let tree = BPlusTree::bulk_load(entries);
-        self.secondary.insert(col, SecondaryIndex::Baseline(tree));
+        self.secondary.insert(col, SecondaryIndex::baseline(tree));
         if existing && !self.existing.contains(&col) {
             self.existing.push(col);
         }
@@ -442,7 +497,8 @@ impl Database {
         let pairs = self.project_tid_pairs(target, host)?;
         let range = self.heap.stats(target)?.range().unwrap_or((0.0, 0.0));
         let trs = TrsTree::build(self.trs_params, range, pairs);
-        self.secondary.insert(target, SecondaryIndex::Hermit { trs, host });
+        self.secondary
+            .insert(target, SecondaryIndex::Hermit { trs: ConcurrentTrsTree::new(trs), host });
         Ok(())
     }
 
@@ -458,7 +514,8 @@ impl Database {
         let pairs = self.project_tid_pairs(target, host)?;
         let range = self.heap.stats(target)?.range().unwrap_or((0.0, 0.0));
         let trs = hermit_trs::build_parallel(self.trs_params, range, pairs, threads);
-        self.secondary.insert(target, SecondaryIndex::Hermit { trs, host });
+        self.secondary
+            .insert(target, SecondaryIndex::Hermit { trs: ConcurrentTrsTree::new(trs), host });
         Ok(())
     }
 
@@ -472,7 +529,7 @@ impl Database {
         value: ColumnId,
     ) -> Result<usize, CoreError> {
         let tree = build_composite_tree(&self.heap, self.scheme, self.pk_col, leading, value)?;
-        Ok(self.composites.push_baseline(tree, leading, value))
+        Ok(self.composites.get_mut().push_baseline(tree, leading, value))
     }
 
     /// Create a composite Hermit index on `(leading, target)` routed
@@ -486,7 +543,7 @@ impl Database {
         target: ColumnId,
         host: ColumnId,
     ) -> Result<usize, CoreError> {
-        if self.composites.companion_baseline(leading, host).is_none() {
+        if self.composites.read().companion_baseline(leading, host).is_none() {
             return Err(CoreError::MissingCompositeHost { leading, host });
         }
         let trs = build_composite_trs(
@@ -497,7 +554,7 @@ impl Database {
             host,
             self.trs_params,
         )?;
-        Ok(self.composites.push_hermit(trs, leading, target, host))
+        Ok(self.composites.get_mut().push_hermit(trs, leading, target, host))
     }
 
     /// The paper's index-creation flow (§3): on `CREATE INDEX`, check the
@@ -512,7 +569,7 @@ impl Database {
         let hosts: Vec<ColumnId> =
             self.secondary.iter().filter(|(_, idx)| !idx.is_hermit()).map(|(&c, _)| c).collect();
         let candidates = match &self.heap {
-            Heap::Mem(t) => discover_correlations(t, target, &hosts, config),
+            Heap::Mem(t) => discover_correlations(&t.read(), target, &hosts, config),
             // Discovery over paged heaps would scan pages; the disk
             // experiment pre-declares its correlation instead.
             Heap::Paged(_) => Vec::new(),
@@ -554,7 +611,7 @@ impl Database {
     pub fn memory_report(&self) -> MemoryReport {
         let mut report = MemoryReport {
             table: self.heap.memory_bytes(),
-            existing_indexes: self.primary.memory_bytes(),
+            existing_indexes: self.primary.read().memory_bytes(),
             new_indexes: 0,
         };
         for (col, index) in &self.secondary {
@@ -583,7 +640,7 @@ impl PairSource for TablePairSource<'_> {
     fn scan_range(&self, lb: f64, ub: f64) -> Vec<(f64, f64, Tid)> {
         let raw = match &self.db.heap {
             Heap::Mem(t) => {
-                t.project_pairs_in_range(self.target, self.host, lb, ub).unwrap_or_default()
+                t.read().project_pairs_in_range(self.target, self.host, lb, ub).unwrap_or_default()
             }
             Heap::Paged(t) => t
                 .project_pairs(self.target, self.host)
@@ -623,7 +680,7 @@ mod tests {
     }
 
     fn populated(scheme: TidScheme, n: usize) -> Database {
-        let mut db = Database::new(schema(), 0, scheme);
+        let db = Database::new(schema(), 0, scheme);
         for i in 0..n {
             let m = i as f64;
             db.insert(&[Value::Int(i as i64), Value::Float(2.0 * m), Value::Float(m)]).unwrap();
@@ -634,7 +691,7 @@ mod tests {
     #[test]
     fn insert_and_resolve_both_schemes() {
         for scheme in [TidScheme::Logical, TidScheme::Physical] {
-            let mut db = Database::new(schema(), 0, scheme);
+            let db = Database::new(schema(), 0, scheme);
             let tid = db.insert(&[Value::Int(7), Value::Float(1.0), Value::Float(2.0)]).unwrap();
             let loc = db.resolve(tid).expect("tid resolves");
             assert_eq!(db.heap().get(loc).unwrap()[0], Value::Int(7));
@@ -646,12 +703,12 @@ mod tests {
         let mut db = populated(TidScheme::Physical, 1_000);
         db.create_baseline_index(2, false).unwrap();
         let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
-        assert_eq!(tree.len(), 1_000);
+        assert_eq!(tree.read().len(), 1_000);
         // Subsequent inserts maintain it.
         db.insert(&[Value::Int(5_000), Value::Float(0.0), Value::Float(123.456)]).unwrap();
         let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
-        assert_eq!(tree.len(), 1_001);
-        assert!(tree.contains_key(&F64Key(123.456)));
+        assert_eq!(tree.read().len(), 1_001);
+        assert!(tree.read().contains_key(&F64Key(123.456)));
     }
 
     #[test]
@@ -727,7 +784,7 @@ mod tests {
         db.delete_by_pk(500).unwrap();
         assert_eq!(db.len(), 999);
         let SecondaryIndex::Baseline(tree) = db.index(2).unwrap() else { panic!() };
-        assert!(!tree.contains_key(&F64Key(500.0)));
+        assert!(!tree.read().contains_key(&F64Key(500.0)));
         assert_eq!(
             db.delete_by_pk(500),
             Err(StorageError::PkNotFound { pk: 500 }),

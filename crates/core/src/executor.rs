@@ -111,7 +111,7 @@ impl Database {
                 let Some(SecondaryIndex::Baseline(tree)) = self.index(pred.column) else {
                     return result;
                 };
-                self.run_baseline(tree, *pred, &plan.recheck, &mut result);
+                self.run_baseline(&tree.read(), *pred, &plan.recheck, &mut result);
             }
             AccessPath::CompositeBaseline { index, leading, value }
             | AccessPath::CompositeHermit { index, leading, value, .. } => {
@@ -177,7 +177,7 @@ impl Database {
             }
             Some(SecondaryIndex::Baseline(tree)) => {
                 let recheck: Vec<RangePredicate> = extra.into_iter().collect();
-                self.run_baseline(tree, pred, &recheck, &mut result);
+                self.run_baseline(&tree.read(), pred, &recheck, &mut result);
             }
             None => {}
         }
@@ -194,13 +194,13 @@ impl Database {
     /// must include `pred` itself — Hermit candidates are approximate).
     fn run_hermit(
         &self,
-        trs: &hermit_trs::TrsTree,
+        trs: &hermit_trs::ConcurrentTrsTree,
         host: ColumnId,
         pred: RangePredicate,
         recheck: &[RangePredicate],
         result: &mut QueryResult,
     ) {
-        // Phase 1: TRS-Tree search.
+        // Phase 1: TRS-Tree search (under the tree's read latch).
         let t0 = Instant::now();
         let approx = trs.lookup(pred.lb, pred.ub);
         result.breakdown.trs_tree += t0.elapsed();
@@ -212,6 +212,7 @@ impl Database {
             // Host index dropped out from under us — treat as no results.
             return;
         };
+        let host_tree = host_tree.read();
         let had_outliers = !approx.tids.is_empty();
         let mut candidates: Vec<Tid> = approx.tids;
         for (lo, hi) in &approx.ranges {
@@ -219,6 +220,7 @@ impl Database {
                 candidates.push(*tid);
             });
         }
+        drop(host_tree);
         // The unioned ranges are disjoint, so host probes cannot repeat a
         // tuple among themselves — duplicates only arise between outlier
         // tids and range results. Dedupe only when outliers were returned.
@@ -288,15 +290,17 @@ impl Database {
         recheck: &[RangePredicate],
         result: &mut QueryResult,
     ) {
-        // Phase 3: primary-index lookups (logical scheme only).
+        // Phase 3: primary-index lookups (logical scheme only; one
+        // read-latch acquisition for the whole candidate set).
         let locs: Vec<RowLoc> = match self.scheme() {
             TidScheme::Physical => candidates.into_iter().map(|t| t.as_loc()).collect(),
             TidScheme::Logical => {
                 let t2 = Instant::now();
+                let primary = self.primary();
                 let resolved: Vec<RowLoc> = candidates
                     .into_iter()
                     .filter_map(|t| {
-                        let loc = self.primary().get(t.as_pk());
+                        let loc = primary.get(t.as_pk());
                         if loc.is_none() {
                             result.unresolved += 1;
                         }
@@ -345,7 +349,7 @@ mod tests {
     /// Database with target = i, host = 2i (+ noise rows), both index kinds
     /// available on demand.
     fn populated(scheme: TidScheme, n: usize, noise_every: usize) -> Database {
-        let mut db = Database::new(schema(), 0, scheme);
+        let db = Database::new(schema(), 0, scheme);
         for i in 0..n {
             let m = i as f64;
             let host = if noise_every > 0 && i % noise_every == 0 {
@@ -482,7 +486,7 @@ mod tests {
 
     #[test]
     fn deleted_rows_do_not_resurface() {
-        let mut db = hermit_db(TidScheme::Logical, 1_000, 0);
+        let db = hermit_db(TidScheme::Logical, 1_000, 0);
         db.delete_by_pk(500).unwrap();
         let r = db.lookup_range(RangePredicate::range(2, 499.0, 501.0), None);
         let targets = row_targets(&db, &r);

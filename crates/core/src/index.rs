@@ -1,26 +1,40 @@
 //! Secondary-index kinds managed by a [`crate::Database`].
+//!
+//! Both kinds are shareable across threads (the concurrent serving layer of
+//! [`crate::shared`]): a baseline B+-tree sits behind a coarse
+//! `parking_lot::RwLock` — point/range maintenance takes the write side
+//! briefly, probes take the read side — while a Hermit index uses
+//! [`ConcurrentTrsTree`], the Appendix-B wrapper whose writers divert to a
+//! side buffer during background reorganization.
 
 use hermit_btree::BPlusTree;
 use hermit_storage::{ColumnId, F64Key, Tid};
-use hermit_trs::TrsTree;
+use hermit_trs::ConcurrentTrsTree;
+use parking_lot::RwLock;
 
 /// A secondary index on one column: either a complete baseline B+-tree or a
 /// succinct Hermit TRS-Tree routed through a host column.
-#[derive(Debug, Clone)]
 pub enum SecondaryIndex {
-    /// Conventional complete index: target value → tid.
-    Baseline(BPlusTree<F64Key, Tid>),
+    /// Conventional complete index: target value → tid, behind a coarse
+    /// reader-writer latch.
+    Baseline(RwLock<BPlusTree<F64Key, Tid>>),
     /// Hermit index: a TRS-Tree modeling the target→host correlation, plus
-    /// the host column whose baseline index serves the second hop.
+    /// the host column whose baseline index serves the second hop. The tree
+    /// carries its own Appendix-B latch + side buffer.
     Hermit {
         /// The succinct correlation structure.
-        trs: TrsTree,
+        trs: ConcurrentTrsTree,
         /// Column whose complete index answers the translated ranges.
         host: ColumnId,
     },
 }
 
 impl SecondaryIndex {
+    /// Wrap a built baseline tree.
+    pub fn baseline(tree: BPlusTree<F64Key, Tid>) -> Self {
+        SecondaryIndex::Baseline(RwLock::new(tree))
+    }
+
     /// True for the Hermit variant.
     pub fn is_hermit(&self) -> bool {
         matches!(self, SecondaryIndex::Hermit { .. })
@@ -34,10 +48,10 @@ impl SecondaryIndex {
         }
     }
 
-    /// Heap bytes held by the index structure.
+    /// Heap bytes held by the index structure (takes the read latch).
     pub fn memory_bytes(&self) -> usize {
         match self {
-            SecondaryIndex::Baseline(tree) => tree.memory_bytes(),
+            SecondaryIndex::Baseline(tree) => tree.read().memory_bytes(),
             SecondaryIndex::Hermit { trs, .. } => trs.memory_bytes(),
         }
     }
@@ -46,16 +60,16 @@ impl SecondaryIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hermit_trs::TrsParams;
+    use hermit_trs::{TrsParams, TrsTree};
 
     #[test]
     fn kind_accessors() {
-        let baseline = SecondaryIndex::Baseline(BPlusTree::new());
+        let baseline = SecondaryIndex::baseline(BPlusTree::new());
         assert!(!baseline.is_hermit());
         assert_eq!(baseline.host_column(), None);
 
         let trs = TrsTree::build(TrsParams::default(), (0.0, 1.0), vec![]);
-        let hermit = SecondaryIndex::Hermit { trs, host: 3 };
+        let hermit = SecondaryIndex::Hermit { trs: ConcurrentTrsTree::new(trs), host: 3 };
         assert!(hermit.is_hermit());
         assert_eq!(hermit.host_column(), Some(3));
         assert!(hermit.memory_bytes() > 0);

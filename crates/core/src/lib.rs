@@ -38,6 +38,7 @@ pub mod executor;
 pub mod index;
 pub mod plan;
 pub mod query;
+pub mod shared;
 
 pub use batch::BatchOptions;
 pub use breakdown::{InsertBreakdown, LookupBreakdown, Phase};
@@ -49,3 +50,4 @@ pub use executor::{QueryResult, RangePredicate};
 pub use index::SecondaryIndex;
 pub use plan::{AccessPath, PlanKind, QueryPlan};
 pub use query::Query;
+pub use shared::{MaintenanceConfig, MaintenanceWorker, SharedDatabase};

@@ -272,23 +272,36 @@ impl fmt::Display for QueryPlan {
 /// Estimated fraction of rows matching `pred`, from the column's
 /// incrementally-maintained min/max range under a uniformity assumption.
 ///
-/// The stats are append-only, so every live value lies inside the recorded
-/// range: a predicate entirely outside it genuinely matches nothing, and an
-/// inverted predicate matches nothing by definition. Non-empty overlaps are
-/// floored at `1/n` so point predicates cost one expected row rather than
-/// zero.
+/// The range stats are append-only, so every live value lies inside the
+/// recorded range: a predicate entirely outside it genuinely matches
+/// nothing, and an inverted predicate matches nothing by definition.
+/// *Counts*, by contrast, are live (deletes decrement them): a column whose
+/// non-null values were all deleted matches nothing even though its stale
+/// range still overlaps the predicate, and the point-predicate floor is
+/// `1/live_non_null`, not `1/observed` — after heavy deletion the old
+/// append-only counts would overestimate table cardinality and make index
+/// paths win when a scan of the shrunken heap is cheaper. Table cardinality
+/// itself (`n_rows`, the scan cost and candidate scale) is always the live
+/// `heap.len()`.
 fn selectivity(pred: &RangePredicate, stats: Option<&ColumnStats>, n_rows: usize) -> f64 {
     if pred.lb > pred.ub {
         return 0.0;
     }
-    let Some((min, max)) = stats.and_then(|s| s.range()) else {
+    let Some(stats) = stats else {
         return 0.0;
     };
+    let Some((min, max)) = stats.range() else {
+        return 0.0;
+    };
+    let live = stats.non_null_count().min(n_rows as u64);
+    if live == 0 {
+        return 0.0;
+    }
     if pred.ub < min || pred.lb > max {
         return 0.0;
     }
     let width = max - min;
-    let floor = 1.0 / n_rows.max(1) as f64;
+    let floor = 1.0 / live as f64;
     if width <= 0.0 {
         return 1.0;
     }
@@ -388,14 +401,16 @@ impl Database {
         }
 
         // Composite box paths: ordered conjunct pairs matching a registered
-        // (leading, value) composite index.
+        // (leading, value) composite index. One read-latch acquisition
+        // covers the whole enumeration.
+        let composites = self.composites();
         for (i, lead) in conjuncts.iter().enumerate() {
             for (j, val) in conjuncts.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                for idx in 0..self.composites().len() {
-                    let Some(ci) = self.composites().get(idx) else { continue };
+                for idx in 0..composites.len() {
+                    let Some(ci) = composites.get(idx) else { continue };
                     let lead_sel = sels[i];
                     match ci {
                         CompositeIndex::Baseline { leading, value, .. }
@@ -421,10 +436,7 @@ impl Database {
                         CompositeIndex::Hermit { trs, leading, target, host }
                             if *leading == lead.column
                                 && *target == val.column
-                                && self
-                                    .composites()
-                                    .companion_baseline(*leading, *host)
-                                    .is_some() =>
+                                && composites.companion_baseline(*leading, *host).is_some() =>
                         {
                             let vsel =
                                 (sels[j] + trs_inflation(trs.params().error_bound, *host)).min(1.0);

@@ -124,6 +124,11 @@ impl PagedTable {
     }
 
     /// Insert a row, appending a page when the last one fills.
+    ///
+    /// The page-directory lock is held across the slot write — including
+    /// the write into a freshly allocated page. Releasing it before that
+    /// write (as this method once did) let concurrent writers fill the new
+    /// page first and the "empty" insert fail with `PageFull`.
     pub fn insert(&self, row: &[Value]) -> Result<RowLoc> {
         let mut encoded = Vec::with_capacity(self.record_width as usize);
         encode_row(&self.schema, row, &mut encoded)?;
@@ -137,7 +142,6 @@ impl PagedTable {
         }
         let new_page = self.pool.allocate(self.record_width)?;
         pages.push(new_page);
-        drop(pages);
         let slot = self.pool.write(new_page, |page| page.insert(&encoded))??;
         self.finish_insert(row, new_page, slot)
     }
@@ -238,11 +242,30 @@ impl PagedTable {
         }
     }
 
-    /// Tombstone a row.
+    /// Tombstone a row. The old row is decoded under the same page access
+    /// so per-column live counts can be folded out of the stats.
     pub fn delete(&self, loc: RowLoc) -> Result<()> {
-        self.pool.write(loc.block as PageId, |page| page.delete(loc.offset as u16))??;
+        self.delete_returning(loc).map(|_| ())
+    }
+
+    /// Tombstone a row and return its old values — fetch and delete under
+    /// *one* page access, so callers that must maintain indexes from the
+    /// deleted row (`delete_by_pk`) pay a single pool access and never
+    /// observe a row they then fail to delete.
+    pub fn delete_returning(&self, loc: RowLoc) -> Result<Vec<Value>> {
+        let width = self.schema.width();
+        let row = self.pool.write(loc.block as PageId, |page| {
+            let old = page.get(loc.offset as u16).map(|b| decode_row(b, width))?;
+            page.delete(loc.offset as u16).map(|()| old)
+        })??;
+        {
+            let mut stats = self.stats.lock();
+            for (cid, v) in row.iter().enumerate() {
+                stats[cid].observe_delete(v);
+            }
+        }
         *self.live_rows.lock() -= 1;
-        Ok(())
+        Ok(row)
     }
 
     /// Scan all live rows, yielding `(RowLoc, row)`.
@@ -473,6 +496,29 @@ mod tests {
         });
         assert!(!complete);
         assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn concurrent_inserts_never_lose_page_slots() {
+        // Regression: the slow path used to release the page-directory lock
+        // before writing into a freshly allocated page, so racing writers
+        // could fill it first and the insert failed with PageFull.
+        let t = std::sync::Arc::new(make_table(64));
+        let threads = 8;
+        let per_thread = 500usize; // ~300 rows/page -> many page rollovers
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let pk = (w * per_thread + i) as i64;
+                        t.insert(&row(pk, pk as f64, None)).expect("no PageFull under races");
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), threads * per_thread);
+        assert_eq!(t.scan().unwrap().len(), threads * per_thread);
     }
 
     #[test]

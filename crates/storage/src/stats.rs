@@ -4,6 +4,13 @@
 //! "the RDBMS's optimizer statistics"; this module is that substrate. The
 //! table updates these stats on every insert so that TRS-Tree construction
 //! and correlation discovery can read min/max/count in O(1).
+//!
+//! Counts are maintained on *both* sides of the row lifecycle: inserts call
+//! [`ColumnStats::observe`], deletes call [`ColumnStats::observe_delete`],
+//! so `non_null_count`/`null_count` track *live* values and the planner can
+//! cost against real cardinalities after heavy deletion. The min/max range
+//! is append-only (it never shrinks on delete), which matches how real
+//! optimizer range stats lag behind the data until the next ANALYZE.
 
 use crate::value::Value;
 
@@ -30,6 +37,17 @@ impl ColumnStats {
         }
     }
 
+    /// Fold one deleted (or overwritten) value out of the stats: the
+    /// delete-side counterpart of [`observe`](Self::observe). Counts
+    /// shrink; the min/max range deliberately does not (see module docs).
+    #[inline]
+    pub fn observe_delete(&mut self, v: &Value) {
+        match v.as_f64() {
+            None => self.nulls = self.nulls.saturating_sub(1),
+            Some(_) => self.non_null = self.non_null.saturating_sub(1),
+        }
+    }
+
     /// Smallest non-null value seen, if any.
     pub fn min(&self) -> Option<f64> {
         self.min
@@ -47,7 +65,7 @@ impl ColumnStats {
         Some((self.min?, self.max?))
     }
 
-    /// Number of non-null values observed.
+    /// Number of live non-null values (observed minus deleted).
     pub fn non_null_count(&self) -> u64 {
         self.non_null
     }
@@ -85,5 +103,22 @@ mod tests {
         let mut s = ColumnStats::default();
         s.observe(&Value::Float(5.0));
         assert_eq!(s.range(), Some((5.0, 5.0)));
+    }
+
+    #[test]
+    fn delete_shrinks_counts_but_not_range() {
+        let mut s = ColumnStats::default();
+        s.observe(&Value::Float(1.0));
+        s.observe(&Value::Float(9.0));
+        s.observe(&Value::Null);
+        s.observe_delete(&Value::Float(9.0));
+        s.observe_delete(&Value::Null);
+        assert_eq!(s.non_null_count(), 1);
+        assert_eq!(s.null_count(), 0);
+        assert_eq!(s.range(), Some((1.0, 9.0)), "range stats are append-only");
+        // Saturates instead of underflowing on spurious deletes.
+        s.observe_delete(&Value::Float(1.0));
+        s.observe_delete(&Value::Float(1.0));
+        assert_eq!(s.non_null_count(), 0);
     }
 }

@@ -240,24 +240,39 @@ impl Table {
     }
 
     /// Tombstone a row. Idempotent errors: deleting a dead row is
-    /// `RowNotFound`.
+    /// `RowNotFound`. Per-column live counts are folded out of the stats
+    /// (the min/max range stays append-only; see [`ColumnStats`]).
     pub fn delete(&mut self, loc: RowLoc) -> Result<()> {
+        self.delete_returning(loc).map(|_| ())
+    }
+
+    /// Tombstone a row and return its old values — fetch and delete as one
+    /// atomic heap operation, so callers that must maintain indexes from
+    /// the deleted row (`delete_by_pk`) never observe a row they then fail
+    /// to delete.
+    pub fn delete_returning(&mut self, loc: RowLoc) -> Result<Vec<Value>> {
         let idx = self.check_live(loc)?;
+        let row: Vec<Value> = self.columns.iter().map(|c| c.get(idx)).collect();
+        for (cid, v) in row.iter().enumerate() {
+            self.stats[cid].observe_delete(v);
+        }
         self.deleted[idx / 64] |= 1 << (idx % 64);
         self.live_rows -= 1;
-        Ok(())
+        Ok(row)
     }
 
     /// Overwrite one cell of a live row.
     ///
-    /// Note: column statistics are append-only (min/max never shrink), which
-    /// matches how real optimizer stats lag behind updates.
+    /// Note: column range statistics are append-only (min/max never
+    /// shrink), which matches how real optimizer stats lag behind updates;
+    /// live counts swap the old value for the new one.
     pub fn update(&mut self, loc: RowLoc, cid: ColumnId, v: Value) -> Result<()> {
         let idx = self.check_live(loc)?;
         let def = self.schema.column(cid)?;
         if v.is_null() && !def.nullable {
             return Err(StorageError::UnexpectedNull { column: cid });
         }
+        self.stats[cid].observe_delete(&self.columns[cid].get(idx));
         self.columns[cid].set(idx, v);
         self.stats[cid].observe(&v);
         Ok(())

@@ -60,24 +60,92 @@ impl ConcurrentTrsTree {
         self.tree.read().lookup_point(m)
     }
 
+    /// Scratch-reusing range lookup under the read latch (the vectorized
+    /// pipeline's phase 1).
+    pub fn lookup_into(
+        &self,
+        lb: f64,
+        ub: f64,
+        scratch: &mut crate::LookupScratch,
+        out: &mut TrsLookup,
+    ) {
+        self.tree.read().lookup_into(lb, ub, scratch, out)
+    }
+
+    /// The tree's parameters (copied out from under the latch).
+    pub fn params(&self) -> crate::TrsParams {
+        *self.tree.read().params()
+    }
+
+    /// Heap bytes held by the tree (read latch; includes arena garbage from
+    /// past reorganizations — see [`compacted_memory_bytes`](Self::compacted_memory_bytes)).
+    pub fn memory_bytes(&self) -> usize {
+        self.tree.read().memory_bytes()
+    }
+
+    /// Queued reorganization candidates awaiting a background pass.
+    pub fn reorg_queue_len(&self) -> usize {
+        self.tree.read().reorg_queue_len()
+    }
+
+    /// Divert `op` to the side buffer if a reorganization is in flight.
+    ///
+    /// The flag is checked *under the side-buffer lock* — the same lock the
+    /// worker holds while replaying the buffer and dropping the flag — so a
+    /// writer can never observe `reorganizing == true`, get preempted, and
+    /// push into a buffer that was already drained (which would strand the
+    /// op forever: a permanent index false negative).
+    fn divert(&self, op: SideOp) -> bool {
+        let mut buf = self.side_buffer.lock();
+        if self.reorganizing.load(Ordering::Acquire) {
+            buf.push(op);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Raise the *reorganizing* flag (writers start diverting). Taking the
+    /// side-buffer lock synchronizes with [`divert`](Self::divert): any
+    /// writer that saw the flag down has fully decided to go to the tree,
+    /// whose latch then orders it against the rebuild.
+    fn begin_reorg(&self) {
+        let _buf = self.side_buffer.lock();
+        self.reorganizing.store(true, Ordering::Release);
+    }
+
+    /// Replay the side buffer into `tree` and drop the flag — atomic with
+    /// respect to diverting writers (both sides hold the side-buffer lock).
+    /// Call with the tree write latch held.
+    fn finish_reorg(&self, tree: &mut TrsTree) {
+        let mut buf = self.side_buffer.lock();
+        for op in buf.drain(..) {
+            match op {
+                SideOp::Insert { m, n, tid } => {
+                    tree.insert(m, n, tid);
+                }
+                SideOp::Delete { m, tid } => {
+                    tree.delete(m, tid);
+                }
+            }
+        }
+        self.reorganizing.store(false, Ordering::Release);
+    }
+
     /// Insert; diverted to the side buffer while a reorganization is in
     /// flight.
     pub fn insert(&self, m: f64, n: f64, tid: Tid) {
-        if self.reorganizing.load(Ordering::Acquire) {
-            self.side_buffer.lock().push(SideOp::Insert { m, n, tid });
-            return;
+        if !self.divert(SideOp::Insert { m, n, tid }) {
+            self.tree.write().insert(m, n, tid);
         }
-        self.tree.write().insert(m, n, tid);
     }
 
     /// Delete; diverted to the side buffer while a reorganization is in
     /// flight.
     pub fn delete(&self, m: f64, tid: Tid) {
-        if self.reorganizing.load(Ordering::Acquire) {
-            self.side_buffer.lock().push(SideOp::Delete { m, tid });
-            return;
+        if !self.divert(SideOp::Delete { m, tid }) {
+            self.tree.write().delete(m, tid);
         }
-        self.tree.write().delete(m, tid);
     }
 
     /// Structural statistics (read latch).
@@ -103,11 +171,9 @@ impl ConcurrentTrsTree {
     /// proceed under the read latch except during the brief install step.
     pub fn reorganize_pass(&self, source: &dyn PairSource, limit: usize) -> usize {
         // Phase 1: raise the flag — writers start buffering.
-        self.reorganizing.store(true, Ordering::Release);
+        self.begin_reorg();
 
-        // Phase 2: snapshot the candidates and pre-build replacements
-        // without holding the write latch. We clone the candidate ranges
-        // under a read latch, scan + build offline, then install.
+        // Phase 2: pop the candidates under a brief write latch.
         let candidates: Vec<(crate::node::NodeId, ReorgKind)> = {
             let mut tree = self.tree.write();
             let mut v = Vec::new();
@@ -122,75 +188,105 @@ impl ConcurrentTrsTree {
 
         let mut processed = 0;
         for (node, kind) in candidates {
-            // Build offline: scan the range while holding only a read
-            // latch, then take the write latch to graft.
-            let valid = {
+            // Snapshot the rebuild inputs under the read latch.
+            let spec = {
                 let tree = self.tree.read();
-                (node as usize) < tree.arena.len()
+                let valid = (node as usize) < tree.arena.len()
                     && match kind {
                         ReorgKind::Split => tree.node(node).is_leaf(),
                         ReorgKind::Merge => !tree.node(node).is_leaf(),
-                    }
+                    };
+                valid.then(|| tree.replacement_spec(node))
             };
-            if !valid {
-                continue;
-            }
-            // Phase 3: install under the coarse latch.
+            let Some(spec) = spec else { continue };
+
+            // Phase 3: scan + build *offline* — no tree latch held, so
+            // lookups and writers proceed during the expensive part...
+            let sub = spec.build(source);
+
+            // ...and install under the coarse latch (the brief step).
             {
                 let mut tree = self.tree.write();
-                tree.reorganize_node(node, source);
+                // Defensive re-check: with several maintenance drivers the
+                // slot could have been re-grafted since the snapshot.
+                if (spec.node as usize) < tree.arena.len() && {
+                    let r = tree.node(spec.node).range;
+                    (r.lb, r.ub) == spec.range()
+                } {
+                    tree.graft_subtree(spec.node, sub);
+                    processed += 1;
+                }
             }
-            processed += 1;
         }
 
         // Phase 4: replay the side buffer under the latch, then drop the
         // flag. New writers go straight to the tree again.
         {
             let mut tree = self.tree.write();
-            let ops = std::mem::take(&mut *self.side_buffer.lock());
-            for op in ops {
-                match op {
-                    SideOp::Insert { m, n, tid } => {
-                        tree.insert(m, n, tid);
-                    }
-                    SideOp::Delete { m, tid } => {
-                        tree.delete(m, tid);
-                    }
-                }
-            }
-            self.reorganizing.store(false, Ordering::Release);
+            self.finish_reorg(&mut tree);
         }
         self.reorg_passes.fetch_add(1, Ordering::Relaxed);
         processed
     }
 
     /// Reorganize the `i`-th first-level subtree online (the §7.7 trace
-    /// driver). Follows the same flag / side-buffer protocol.
+    /// driver). Follows the same flag / side-buffer / offline-build
+    /// protocol as [`reorganize_pass`](Self::reorganize_pass).
     pub fn reorganize_first_level_subtree(&self, i: usize, source: &dyn PairSource) -> bool {
-        self.reorganizing.store(true, Ordering::Release);
-        let ok = {
-            let mut tree = self.tree.write();
-            tree.reorganize_first_level_subtree(i, source)
+        self.begin_reorg();
+        let spec = {
+            let tree = self.tree.read();
+            match &tree.node(tree.root()).kind {
+                crate::node::NodeKind::Internal { children } if !children.is_empty() => {
+                    Some(tree.replacement_spec(children[i % children.len()]))
+                }
+                _ => None,
+            }
+        };
+        let ok = match spec {
+            Some(spec) => {
+                let sub = spec.build(source);
+                self.tree.write().graft_subtree(spec.node, sub);
+                true
+            }
+            None => false,
         };
         {
             let mut tree = self.tree.write();
-            let ops = std::mem::take(&mut *self.side_buffer.lock());
-            for op in ops {
-                match op {
-                    SideOp::Insert { m, n, tid } => {
-                        tree.insert(m, n, tid);
-                    }
-                    SideOp::Delete { m, tid } => {
-                        tree.delete(m, tid);
-                    }
-                }
-            }
-            self.reorganizing.store(false, Ordering::Release);
+            self.finish_reorg(&mut tree);
         }
         if ok {
             self.reorg_passes.fetch_add(1, Ordering::Relaxed);
         }
         ok
+    }
+
+    /// Rebuild the whole tree from fresh data (the §4.4 limit case),
+    /// following the same flag / side-buffer / offline-build protocol as
+    /// the partial reorganizations.
+    pub fn rebuild(&self, source: &dyn PairSource) {
+        self.begin_reorg();
+        let spec = {
+            let tree = self.tree.read();
+            tree.replacement_spec(tree.root())
+        };
+        let fresh = spec.build(source);
+        {
+            let mut tree = self.tree.write();
+            let root = tree.root();
+            tree.graft_subtree(root, fresh);
+            // Every queued candidate refers to pre-rebuild structure.
+            while tree.next_reorg_candidate().is_some() {}
+            self.finish_reorg(&mut tree);
+        }
+        self.reorg_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Run a closure against the inner tree under the read latch (escape
+    /// hatch for read-only inspection that has no dedicated delegate, e.g.
+    /// invariant checks in tests).
+    pub fn with_tree<T>(&self, f: impl FnOnce(&TrsTree) -> T) -> T {
+        f(&self.tree.read())
     }
 
     /// Consume the wrapper, returning the inner tree.

@@ -383,9 +383,17 @@ impl TrsTree {
     /// Depth-aware structural statistics.
     pub fn stats(&self) -> TrsTreeStats {
         let mut s = TrsTreeStats { height: self.height_of(self.root), ..Default::default() };
-        for node in &self.arena {
-            match &node.kind {
-                NodeKind::Internal { .. } => s.internals += 1,
+        // Walk only nodes reachable from the root: garbage left behind by
+        // reorganizations still occupies arena memory (charged below via
+        // `memory_bytes`) but is not part of the live tree, so it must not
+        // inflate leaf/outlier counts.
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.arena[id as usize].kind {
+                NodeKind::Internal { children } => {
+                    s.internals += 1;
+                    stack.extend_from_slice(children);
+                }
                 NodeKind::Leaf(leaf) => {
                     s.leaves += 1;
                     s.outliers += leaf.outliers.len();

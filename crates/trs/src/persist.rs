@@ -13,14 +13,21 @@
 //!
 //! ```text
 //! magic "TRST" | version u32 | params | buffer_kind u8 | root u32 |
-//! node_count u32 | nodes...
+//! node_count u32 | nodes... | queue_len u32 | queue...      (v2)
 //! node := range(lb f64, ub f64) | tag u8 |
 //!         tag 0 (internal): child_count u32, children u32...
 //!         tag 1 (leaf):     beta f64, alpha f64, eps f64, covered u64,
 //!                           deletes u64, outlier_count u32,
 //!                           (m f64, tid u64)...
+//! queue entry := node u32 | kind u8 (0 = split, 1 = merge)
 //! ```
+//!
+//! Version 2 adds the pending reorganization queue, so split/merge
+//! candidates detected before a checkpoint survive recovery. Version-1
+//! snapshots are still read; their queue is re-derived from the restored
+//! per-leaf outlier/delete counters against the trigger ratios.
 
+use crate::maintain::{ReorgCandidate, ReorgKind};
 use crate::node::{LeafData, Node, NodeKind, OutlierBufferKind, TrsTree, ValueRange};
 use crate::params::TrsParams;
 use hermit_stats::LinearModel;
@@ -30,7 +37,7 @@ use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"TRST";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Errors produced by snapshot encode/decode.
 #[derive(Debug)]
@@ -164,6 +171,16 @@ impl TrsTree {
                 }
             }
         }
+        // v2: the pending reorganization queue (compact() above remapped
+        // its node ids into the compacted arena).
+        w.u32(self.reorg_queue.len() as u32)?;
+        for cand in &self.reorg_queue {
+            w.u32(cand.node)?;
+            w.u8(match cand.kind {
+                ReorgKind::Split => 0,
+                ReorgKind::Merge => 1,
+            })?;
+        }
         Ok(())
     }
 
@@ -185,7 +202,7 @@ impl TrsTree {
             return Err(PersistError::BadMagic);
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion(version));
         }
         let node_fanout = r.u32()? as usize;
@@ -266,9 +283,62 @@ impl TrsTree {
             };
             arena.push(Node { range, kind });
         }
-        let tree = TrsTree { arena, root, params, buffer_kind, reorg_queue: VecDeque::new() };
+        let reorg_queue = match version {
+            // v1 snapshots predate queue persistence: re-derive candidates
+            // from the restored per-leaf counters.
+            1 => VecDeque::new(),
+            _ => {
+                let n = r.u32()? as usize;
+                if n > count.saturating_mul(2) {
+                    return Err(PersistError::Corrupt("oversized reorg queue"));
+                }
+                let mut queue = VecDeque::with_capacity(n);
+                for _ in 0..n {
+                    let node = r.u32()?;
+                    if node as usize >= count {
+                        return Err(PersistError::Corrupt("reorg candidate out of range"));
+                    }
+                    let kind = match r.u8()? {
+                        0 => ReorgKind::Split,
+                        1 => ReorgKind::Merge,
+                        _ => return Err(PersistError::Corrupt("bad reorg kind")),
+                    };
+                    queue.push_back(ReorgCandidate { node, kind });
+                }
+                queue
+            }
+        };
+        let mut tree = TrsTree { arena, root, params, buffer_kind, reorg_queue };
         tree.check_invariants().map_err(|_| PersistError::Corrupt("invariant violation"))?;
+        if version == 1 {
+            tree.rederive_reorg_queue();
+        }
         Ok(tree)
+    }
+
+    /// Rebuild the reorganization queue from per-leaf outlier/delete
+    /// counters, using the same trigger ratios Algorithm 3 applies online.
+    /// Used when restoring v1 snapshots, which did not persist the queue.
+    fn rederive_reorg_queue(&mut self) {
+        let params = self.params;
+        let mut candidates = Vec::new();
+        for (id, node) in self.arena.iter().enumerate() {
+            let NodeKind::Leaf(leaf) = &node.kind else { continue };
+            let covered = leaf.covered.max(1) as f64;
+            if leaf.outliers.len() as f64 > params.split_trigger_ratio * covered {
+                candidates.push(ReorgCandidate { node: id as u32, kind: ReorgKind::Split });
+            }
+            if leaf.deletes as f64 > params.merge_trigger_ratio * covered {
+                if let Some(parent) = self.parent_of(id as u32) {
+                    candidates.push(ReorgCandidate { node: parent, kind: ReorgKind::Merge });
+                }
+            }
+        }
+        for cand in candidates {
+            if !self.reorg_queue.contains(&cand) {
+                self.reorg_queue.push_back(cand);
+            }
+        }
     }
 
     /// Checkpoint to a file (atomic: write to a temp sibling, then rename).
@@ -392,6 +462,71 @@ mod tests {
         let restored = TrsTree::restore(&path).unwrap();
         assert_stats_match(&tree, &restored);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A tree with a pending split candidate: a linear tree flooded with
+    /// off-model tuples at one spot.
+    fn tree_with_queued_split() -> TrsTree {
+        let pairs: Vec<(f64, f64, Tid)> =
+            (0..5_000).map(|i| (i as f64, 2.0 * i as f64, Tid(i as u64))).collect();
+        let mut tree = TrsTree::build(TrsParams::default(), (0.0, 4_999.0), pairs);
+        for i in 0..2_000u64 {
+            tree.insert(2_500.0, -1.0e9, Tid(1_000_000 + i));
+        }
+        assert!(tree.reorg_queue_len() > 0, "flood must queue a split candidate");
+        tree
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_reorg_queue() {
+        let mut tree = tree_with_queued_split();
+        let bytes = tree.snapshot_bytes().unwrap();
+        // snapshot_to compacted the tree, remapping the queue in place; the
+        // serialized queue must match it.
+        let expected = tree.reorg_queue_len();
+        assert!(expected > 0);
+        let mut restored = TrsTree::restore_from(bytes.as_slice()).unwrap();
+        assert_eq!(restored.reorg_queue_len(), expected, "queue lost across checkpoint");
+        // The restored candidates are live: draining them reorganizes the
+        // flooded leaf and shrinks the outlier buffers.
+        let outliers_before = restored.stats().outliers;
+        let fresh: Vec<(f64, f64, Tid)> =
+            (0..5_000).map(|i| (i as f64, 2.0 * i as f64, Tid(i as u64))).collect();
+        let report = restored.reorganize_batch(&crate::VecPairSource(fresh), 16);
+        assert!(report.splits >= 1, "restored candidate must drive a split, got {report:?}");
+        restored.compact(); // stats() counts arena garbage until compaction
+        assert!(restored.stats().outliers < outliers_before);
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compact_remaps_queued_candidates() {
+        let mut tree = tree_with_queued_split();
+        // Force garbage + id churn, then compact.
+        let fresh: Vec<(f64, f64, Tid)> =
+            (0..5_000).map(|i| (i as f64, 2.0 * i as f64, Tid(i as u64))).collect();
+        tree.reorganize_first_level_subtree(0, &crate::VecPairSource(fresh));
+        tree.compact();
+        // Every surviving candidate must point at a node whose role matches.
+        while let Some(cand) = tree.next_reorg_candidate() {
+            assert!((cand.node as usize) < tree.arena.len(), "candidate id out of arena");
+        }
+    }
+
+    #[test]
+    fn v1_snapshot_rederives_queue_from_counters() {
+        let mut tree = tree_with_queued_split();
+        let bytes = tree.snapshot_bytes().unwrap();
+        // Rewrite as a v1 snapshot: patch the version field and drop the
+        // trailing queue section (4-byte length + 5 bytes per entry).
+        let tail = 4 + 5 * tree.reorg_queue_len();
+        let mut v1 = bytes[..bytes.len() - tail].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let restored = TrsTree::restore_from(v1.as_slice()).unwrap();
+        assert!(
+            restored.reorg_queue_len() > 0,
+            "v1 restore must re-derive candidates from leaf counters"
+        );
     }
 
     #[test]

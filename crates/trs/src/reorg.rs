@@ -30,31 +30,65 @@ pub struct ReorgReport {
     pub skipped: usize,
 }
 
-impl TrsTree {
-    /// Rebuild the subtree rooted at `node` from fresh base-table data.
-    ///
-    /// This is the shared implementation of split and merge: construction
-    /// itself decides the right shape for the new data. The node id is
-    /// preserved (the new subtree is grafted into the same slot), so
-    /// parents need no update. Returns the number of leaves in the new
-    /// subtree.
-    pub fn reorganize_node(&mut self, node: NodeId, source: &dyn PairSource) -> usize {
-        let range = self.node(node).range;
-        let pairs = source.scan_range(range.lb, range.ub);
+/// Everything an *offline* rebuild of one subtree needs, snapshotted under
+/// a read latch: the node's range, the depth-adjusted parameters, and the
+/// buffer layout. [`ReplacementSpec::build`] then scans and constructs the
+/// replacement without any tree latch held, and
+/// [`TrsTree::graft_subtree`] installs it under the coarse write latch —
+/// the Appendix-B "build off-line, install briefly" split.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplacementSpec {
+    /// The arena slot the replacement will be grafted into.
+    pub node: NodeId,
+    range: crate::node::ValueRange,
+    sub_params: crate::TrsParams,
+    buffer_kind: crate::node::OutlierBufferKind,
+}
 
-        // Depth budget for the rebuilt subtree: the node keeps its depth,
-        // so it may grow up to max_height - depth + 1 levels below itself.
+impl ReplacementSpec {
+    /// Scan the affected range from `source` and build the replacement
+    /// subtree. No latch is required; this is the expensive part.
+    pub fn build(&self, source: &dyn PairSource) -> TrsTree {
+        let pairs = source.scan_range(self.range.lb, self.range.ub);
+        TrsTree::build_with_buffer(
+            self.sub_params,
+            self.buffer_kind,
+            (self.range.lb, self.range.ub),
+            pairs,
+        )
+    }
+
+    /// The range the replacement was built for (install-time validity
+    /// check).
+    pub fn range(&self) -> (f64, f64) {
+        (self.range.lb, self.range.ub)
+    }
+}
+
+impl TrsTree {
+    /// Snapshot what an offline rebuild of `node` needs (cheap; call under
+    /// a read latch).
+    ///
+    /// Depth budget for the rebuilt subtree: the node keeps its depth, so
+    /// it may grow up to `max_height - depth + 1` levels below itself.
+    pub fn replacement_spec(&self, node: NodeId) -> ReplacementSpec {
+        let range = self.node(node).range;
         let depth = self.depth_of(node);
         let mut sub_params = self.params;
         sub_params.max_height = (self.params.max_height + 1).saturating_sub(depth).max(1);
+        ReplacementSpec { node, range, sub_params, buffer_kind: self.buffer_kind }
+    }
 
-        let sub =
-            TrsTree::build_with_buffer(sub_params, self.buffer_kind, (range.lb, range.ub), pairs);
+    /// Install a replacement subtree into `node`'s slot (the brief
+    /// write-latched step). The node id is preserved, so parents need no
+    /// update. Returns the number of leaves in the new subtree.
+    ///
+    /// Old subtree nodes become garbage in the arena; `compact` reclaims
+    /// them.
+    pub fn graft_subtree(&mut self, node: NodeId, sub: TrsTree) -> usize {
         let leaves = sub.stats().leaves;
-
         // Graft: copy the sub-arena in, fixing child ids, then overwrite
-        // the old slot with the sub-root. Old subtree nodes become garbage
-        // in the arena; `compact` reclaims them.
+        // the old slot with the sub-root.
         let offset = self.arena.len() as NodeId;
         let sub_root_local = sub.root;
         for mut n in sub.arena {
@@ -70,6 +104,19 @@ impl TrsTree {
         // If the grafted root was internal, its children ids are still
         // valid after the swap (they point into the appended region).
         leaves
+    }
+
+    /// Rebuild the subtree rooted at `node` from fresh base-table data.
+    ///
+    /// This is the shared implementation of split and merge: construction
+    /// itself decides the right shape for the new data
+    /// ([`replacement_spec`](Self::replacement_spec) +
+    /// [`graft_subtree`](Self::graft_subtree) in one exclusive step — the
+    /// concurrent wrapper interleaves them to keep the scan latch-free).
+    /// Returns the number of leaves in the new subtree.
+    pub fn reorganize_node(&mut self, node: NodeId, source: &dyn PairSource) -> usize {
+        let sub = self.replacement_spec(node).build(source);
+        self.graft_subtree(node, sub)
     }
 
     fn depth_of(&self, node: NodeId) -> usize {
@@ -167,31 +214,52 @@ impl TrsTree {
     /// Compact the arena after reorganizations left garbage nodes behind:
     /// rebuilds the arena containing only nodes reachable from the root.
     /// Memory accounting calls this implicitly via [`Self::compacted_memory_bytes`].
+    ///
+    /// Queued reorganization candidates are remapped to the compacted node
+    /// ids; candidates whose node became garbage are dropped. (Without the
+    /// remap a queued candidate would silently point at whichever node
+    /// landed in its old arena slot.)
     pub fn compact(&mut self) {
         let mut new_arena = Vec::with_capacity(self.arena.len());
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.arena.len()];
         let root = self.root;
-        let new_root = self.copy_reachable(root, &mut new_arena);
+        let new_root = self.copy_reachable(root, &mut new_arena, &mut remap);
         self.arena = new_arena;
         self.root = new_root;
+        self.reorg_queue = self
+            .reorg_queue
+            .drain(..)
+            .filter_map(|cand| {
+                let node = *remap.get(cand.node as usize)?;
+                node.map(|node| ReorgCandidate { node, ..cand })
+            })
+            .collect();
     }
 
-    fn copy_reachable(&self, id: NodeId, out: &mut Vec<crate::node::Node>) -> NodeId {
+    fn copy_reachable(
+        &self,
+        id: NodeId,
+        out: &mut Vec<crate::node::Node>,
+        remap: &mut [Option<NodeId>],
+    ) -> NodeId {
         let node = self.node(id).clone();
-        match node.kind {
+        let new_id = match node.kind {
             NodeKind::Leaf(_) => {
                 out.push(node);
                 (out.len() - 1) as NodeId
             }
             NodeKind::Internal { children } => {
                 let new_children: Vec<NodeId> =
-                    children.iter().map(|&c| self.copy_reachable(c, out)).collect();
+                    children.iter().map(|&c| self.copy_reachable(c, out, remap)).collect();
                 out.push(crate::node::Node {
                     range: node.range,
                     kind: NodeKind::Internal { children: new_children },
                 });
                 (out.len() - 1) as NodeId
             }
-        }
+        };
+        remap[id as usize] = Some(new_id);
+        new_id
     }
 
     /// Memory after compaction — what a long-running instance would report

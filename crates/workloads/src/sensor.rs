@@ -129,6 +129,7 @@ mod tests {
         let cfg = SensorConfig { noise_amplitude: 0.0, ..small() };
         let db = build_sensor(&cfg, TidScheme::Physical);
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let sensor = table.column(cfg.sensor_col(3)).unwrap();
         let avg = table.column(cfg.avg_col()).unwrap();
         let xs: Vec<f64> = (0..table.total_rows()).map(|i| sensor.get_f64(i).unwrap()).collect();
@@ -154,12 +155,14 @@ mod tests {
         let mut db = build_sensor(&cfg, TidScheme::Physical);
         db.create_hermit_index(cfg.sensor_col(5), cfg.avg_col()).unwrap();
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let (lo, hi) = table.stats(cfg.sensor_col(5)).unwrap().range().unwrap();
         let width = hi - lo;
         let (qlo, qhi) = (lo + 0.4 * width, lo + 0.45 * width);
         let r = db.lookup_range(RangePredicate::range(cfg.sensor_col(5), qlo, qhi), None);
         // Exactness vs a scan.
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let col = table.column(cfg.sensor_col(5)).unwrap();
         let expected = (0..table.total_rows())
             .filter(|&i| col.get_f64(i).is_some_and(|v| (qlo..=qhi).contains(&v)))

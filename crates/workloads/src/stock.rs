@@ -146,6 +146,7 @@ mod tests {
         let cfg = small();
         let db = build_stock(&cfg, TidScheme::Physical);
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let lows = table.column(cfg.low_col(0)).unwrap();
         let highs = table.column(cfg.high_col(0)).unwrap();
         let mut xs = Vec::new();
@@ -166,6 +167,7 @@ mod tests {
         let cfg = StockConfig { stocks: 3, days: 10_000, jump_probability: 0.01, ..small() };
         let db = build_stock(&cfg, TidScheme::Physical);
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let lows = table.column(cfg.low_col(0)).unwrap();
         let highs = table.column(cfg.high_col(0)).unwrap();
         let mut jumps = 0;
@@ -184,6 +186,7 @@ mod tests {
         let cfg = StockConfig { null_probability: 0.1, ..small() };
         let db = build_stock(&cfg, TidScheme::Physical);
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let nulls = table.stats(cfg.low_col(0)).unwrap().null_count();
         let frac = nulls as f64 / 2_000.0;
         assert!((0.07..=0.13).contains(&frac), "null rate {frac}");
@@ -197,12 +200,14 @@ mod tests {
         db.create_hermit_index(cfg.high_col(0), cfg.low_col(0)).unwrap();
         // Query: days when high_0 is within a band around its median.
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let stats = table.stats(cfg.high_col(0)).unwrap().clone();
         let (lo, hi) = stats.range().unwrap();
         let mid = (lo + hi) / 2.0;
         let r = db.lookup_range(RangePredicate::range(cfg.high_col(0), mid * 0.9, mid * 1.1), None);
         // Exactness check against a scan.
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let col = table.column(cfg.high_col(0)).unwrap();
         let expected = (0..table.total_rows())
             .filter(|&i| col.get_f64(i).is_some_and(|v| v >= mid * 0.9 && v <= mid * 1.1))
@@ -216,6 +221,7 @@ mod tests {
         let mut db = build_stock(&cfg, TidScheme::Physical);
         db.create_hermit_index(cfg.high_col(1), cfg.low_col(1)).unwrap();
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
+        let table = table.read();
         let (lo, hi) = table.stats(cfg.high_col(1)).unwrap().range().unwrap();
         let r = db.lookup_range(
             RangePredicate::range(cfg.high_col(1), lo, hi),

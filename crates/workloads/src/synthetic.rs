@@ -172,7 +172,7 @@ mod tests {
         let heap = db.heap();
         let mut checked = 0;
         for loc in match heap {
-            hermit_core::Heap::Mem(t) => t.scan().collect::<Vec<_>>(),
+            hermit_core::Heap::Mem(t) => t.read().scan().collect::<Vec<_>>(),
             _ => unreachable!(),
         } {
             let b = heap.value_f64(loc, cols::COL_B).unwrap().unwrap();
@@ -204,7 +204,7 @@ mod tests {
         let heap = db.heap();
         let mut noisy = 0;
         for loc in match heap {
-            hermit_core::Heap::Mem(t) => t.scan().collect::<Vec<_>>(),
+            hermit_core::Heap::Mem(t) => t.read().scan().collect::<Vec<_>>(),
             _ => unreachable!(),
         } {
             let b = heap.value_f64(loc, cols::COL_B).unwrap().unwrap();
@@ -229,7 +229,7 @@ mod tests {
         assert_eq!(db.heap().schema().width(), 7);
         let heap = db.heap();
         let loc = match heap {
-            hermit_core::Heap::Mem(t) => t.scan().next().unwrap(),
+            hermit_core::Heap::Mem(t) => t.read().scan().next().unwrap(),
             _ => unreachable!(),
         };
         let b = heap.value_f64(loc, cols::COL_B).unwrap().unwrap();
@@ -259,7 +259,7 @@ mod tests {
         let b = build_synthetic(&cfg, TidScheme::Physical);
         let (ha, hb) = (a.heap(), b.heap());
         for loc in match ha {
-            hermit_core::Heap::Mem(t) => t.scan().collect::<Vec<_>>(),
+            hermit_core::Heap::Mem(t) => t.read().scan().collect::<Vec<_>>(),
             _ => unreachable!(),
         } {
             assert_eq!(ha.get(loc).unwrap(), hb.get(loc).unwrap());

@@ -32,7 +32,7 @@ fn main() {
         ColumnDef::float("sp"),
         ColumnDef::float("vol"),
     ]);
-    let mut db = Database::new(schema, TIME, TidScheme::Physical);
+    let db = Database::new(schema, TIME, TidScheme::Physical);
 
     // 60 years of trading days: DJ drifts upward; SP tracks DJ at roughly
     // 1/8 scale with its own wiggle (the Fig. 26 relationship).
@@ -50,6 +50,7 @@ fn main() {
 
     // Correlation check a DBA would run before recommending Hermit.
     let hermit::core::Heap::Mem(table) = db.heap() else { unreachable!() };
+    let table = table.read();
     let djs: Vec<f64> = table.column(DJ).unwrap().iter_f64().flatten().collect();
     let sps: Vec<f64> = table.column(SP).unwrap().iter_f64().flatten().collect();
     println!("pearson(SP, DJ) = {:.4}", pearson(&sps, &djs));

@@ -58,6 +58,7 @@ fn main() {
 
     // Verify against a full scan.
     let hermit::core::Heap::Mem(table) = db.heap() else { unreachable!() };
+    let table = table.read();
     let col = table.column(2).unwrap();
     let expected = (0..table.total_rows())
         .filter(|&i| col.get_f64(i).is_some_and(|v| (500.0..=520.0).contains(&v)))

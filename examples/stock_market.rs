@@ -9,7 +9,7 @@
 
 use hermit::core::RangePredicate;
 use hermit::storage::TidScheme;
-use hermit::trs::TrsTree;
+use hermit::trs::ConcurrentTrsTree;
 use hermit::workloads::{build_stock, StockConfig};
 
 fn main() {
@@ -51,7 +51,7 @@ fn main() {
     // highest price fall between Y and Z?" — a high-column range conjoined
     // with a TIME range, both validated at the base table.
     let hermit::core::Heap::Mem(table) = db.heap() else { unreachable!() };
-    let (lo, hi) = table.stats(cfg.high_col(stock)).unwrap().range().unwrap();
+    let (lo, hi) = table.read().stats(cfg.high_col(stock)).unwrap().range().unwrap();
     let band = (lo + (hi - lo) * 0.45, lo + (hi - lo) * 0.55);
     let result = db.lookup_range(
         RangePredicate::range(cfg.high_col(stock), band.0, band.1),
@@ -73,7 +73,7 @@ fn main() {
     }
 }
 
-fn report_outliers(trs: &TrsTree, stock: usize) {
+fn report_outliers(trs: &ConcurrentTrsTree, stock: usize) {
     let stats = trs.stats();
     println!(
         "TRS-Tree on high_{stock}: {} leaves, {} internals, height {}, {} buffered outliers, {:.1} KB",

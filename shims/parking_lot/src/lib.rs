@@ -6,7 +6,11 @@
 //! a poisoned std lock yields its inner guard, matching `parking_lot`'s
 //! no-poisoning semantics.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+// Guard type names match the real crate, so downstream signatures that
+// return guards (`-> parking_lot::RwLockReadGuard<'_, T>`) stay portable.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);

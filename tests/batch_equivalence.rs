@@ -129,7 +129,7 @@ fn baseline_batch_matches_scalar_both_schemes() {
 #[test]
 fn batch_survives_deletions() {
     for scheme in [TidScheme::Logical, TidScheme::Physical] {
-        let mut db = mem_hermit(scheme, 2_000, 0);
+        let db = mem_hermit(scheme, 2_000, 0);
         for pk in (0..2_000).step_by(3) {
             db.delete_by_pk(pk).unwrap();
         }

@@ -24,6 +24,7 @@ fn scan_count(
     extra: Option<(usize, f64, f64)>,
 ) -> usize {
     let Heap::Mem(table) = db.heap() else { unreachable!("mem heap expected") };
+    let table = table.read();
     let c = table.column(col).unwrap();
     table
         .scan()
@@ -75,7 +76,7 @@ fn stock_hermit_matches_scan_with_time_conjunct() {
     for s in 0..cfg.stocks {
         let col = cfg.high_col(s);
         let Heap::Mem(table) = db.heap() else { unreachable!() };
-        let (lo, hi) = table.stats(col).unwrap().range().unwrap();
+        let (lo, hi) = table.read().stats(col).unwrap().range().unwrap();
         let band = (lo + (hi - lo) * 0.3, lo + (hi - lo) * 0.6);
         let got = db.lookup_range(
             RangePredicate::range(col, band.0, band.1),
@@ -96,7 +97,7 @@ fn sensor_hermit_matches_scan_on_every_sensor() {
     for i in 0..cfg.sensors {
         let col = cfg.sensor_col(i);
         let Heap::Mem(table) = db.heap() else { unreachable!() };
-        let (lo, hi) = table.stats(col).unwrap().range().unwrap();
+        let (lo, hi) = table.read().stats(col).unwrap().range().unwrap();
         let band = (lo + (hi - lo) * 0.4, lo + (hi - lo) * 0.5);
         let got = db.lookup_range(RangePredicate::range(col, band.0, band.1), None);
         let want = scan_count(&db, col, band.0, band.1, None);

@@ -311,7 +311,7 @@ fn inverted_and_out_of_domain_queries_are_empty_everywhere() {
 #[test]
 fn composite_indexes_are_maintained_across_delete_and_reinsert() {
     for scheme in [TidScheme::Physical, TidScheme::Logical] {
-        let mut db = stock_db(scheme, 10_000);
+        let db = stock_db(scheme, 10_000);
         // Delete rows inside the box, then re-insert one of them with its
         // original values: without delete-side composite maintenance the
         // stale entry and the fresh one both qualify and (under logical
@@ -354,7 +354,7 @@ fn composite_indexes_are_maintained_across_delete_and_reinsert() {
 #[test]
 fn deleted_rows_never_resurface_through_any_plan() {
     for scheme in [TidScheme::Physical, TidScheme::Logical] {
-        let mut db = stock_db(scheme, 5_000);
+        let db = stock_db(scheme, 5_000);
         for pk in (0..5_000).step_by(10) {
             db.delete_by_pk(pk).unwrap();
         }
