@@ -16,9 +16,11 @@
 //! taken out of the equation.
 
 use hermit_bench::harness::measure_ops_with;
+use hermit_core::recovery::{DurabilityConfig, PAGES_FILE};
 use hermit_core::shared::{MaintenanceConfig, MaintenanceWorker, SharedDatabase};
 use hermit_core::{BatchOptions, Database, PlanKind, Query, RangePredicate};
 use hermit_storage::paged::{BufferPool, PagedTable, SimulatedPageStore};
+use hermit_storage::wal::{WalRecord, WalWriter};
 use hermit_storage::{ColumnDef, Schema, TidScheme, Value};
 use hermit_workloads::synthetic::cols;
 use hermit_workloads::{build_synthetic, CorrelationKind, QueryGen, SyntheticConfig};
@@ -224,6 +226,76 @@ fn reorg_under_churn(rows: usize) -> String {
     )
 }
 
+/// Durability subsystem throughput: checkpoint bandwidth, raw WAL append
+/// rate, and full recovery time for a `rows`-row database with a baseline +
+/// Hermit index. Everything runs against a real file-backed store in a
+/// temp directory (deleted afterwards), so the fsyncs are genuine.
+fn durability_metrics(rows: usize) -> String {
+    let dir = std::env::temp_dir().join(format!("hermit-bench-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = DurabilityConfig {
+        pool_pages: (rows / 250 + 16).next_power_of_two(),
+        wal_sync_every: 1 << 20, // commit manually; appends stay buffered
+        ..Default::default()
+    };
+    let mut db = Database::create_durable(
+        Schema::new(vec![
+            ColumnDef::int("pk"),
+            ColumnDef::float("host"),
+            ColumnDef::float("target"),
+        ]),
+        0,
+        &dir,
+        &config,
+    )
+    .expect("create durable bench db");
+    for i in 0..rows {
+        let m = i as f64;
+        db.insert(&[Value::Int(i as i64), Value::Float(2.0 * m), Value::Float(m)]).unwrap();
+    }
+    db.create_baseline_index(1, true).unwrap();
+    db.create_hermit_index(2, 1).unwrap();
+
+    let t0 = Instant::now();
+    db.checkpoint(&dir).unwrap();
+    let ckpt_secs = t0.elapsed().as_secs_f64();
+    let heap_bytes = std::fs::metadata(dir.join(PAGES_FILE)).map(|m| m.len()).unwrap_or(0);
+    let ckpt_mb_per_sec = heap_bytes as f64 / 1e6 / ckpt_secs;
+
+    // Raw WAL append rate: realistic 3-column insert records, one fsync per
+    // 1024-record commit batch.
+    let wal_path = std::env::temp_dir().join(format!("hermit-bench-wal-{}", std::process::id()));
+    let mut writer = WalWriter::create(&wal_path, 1).unwrap();
+    let rec = WalRecord::Insert { row: vec![Value::Int(7), Value::Float(14.0), Value::Float(7.0)] };
+    let appends = 200_000usize;
+    let t1 = Instant::now();
+    for i in 0..appends {
+        writer.append(&rec).unwrap();
+        if i % 1024 == 1023 {
+            writer.commit().unwrap();
+        }
+    }
+    writer.commit().unwrap();
+    let wal_ops_per_sec = appends as f64 / t1.elapsed().as_secs_f64();
+    drop(writer);
+    let _ = std::fs::remove_file(&wal_path);
+
+    drop(db);
+    let t2 = Instant::now();
+    let back = Database::open(&dir, &config).expect("recover bench db");
+    let recovery_ms = t2.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(back.len(), rows, "bench recovery lost rows");
+    drop(back);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "durability    checkpoint {ckpt_mb_per_sec:>8.1} MB/s   wal append {wal_ops_per_sec:>10.0} ops/s   recovery({rows} rows) {recovery_ms:>8.1} ms"
+    );
+    format!(
+        "{{\"checkpoint_mb_per_sec\": {ckpt_mb_per_sec:.1}, \"wal_append_ops_per_sec\": {wal_ops_per_sec:.0}, \"recovery_ms\": {recovery_ms:.1}}}"
+    )
+}
+
 fn json_variants(variants: &[Variant]) -> String {
     let fields: Vec<String> =
         variants.iter().map(|v| format!("\"{}\": {:.1}", v.name, v.queries_per_sec)).collect();
@@ -323,13 +395,15 @@ fn main() {
         writer_field = wps; // record the 4-reader run's writer rate
     }
     let reorg_json = reorg_under_churn(rows);
+    let durability_json = durability_metrics(rows);
 
     let json = format!(
-        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
+        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"durability\": {},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
         sections.join(",\n"),
         reader_fields.join(", "),
         writer_field,
         reorg_json,
+        durability_json,
         headline
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| {

@@ -207,21 +207,26 @@ impl MemoryReport {
 
 /// A single-table database with Hermit support.
 pub struct Database {
-    heap: Heap,
-    scheme: TidScheme,
-    pk_col: ColumnId,
-    primary: RwLock<HashPrimaryIndex>,
+    pub(crate) heap: Heap,
+    pub(crate) scheme: TidScheme,
+    pub(crate) pk_col: ColumnId,
+    pub(crate) primary: RwLock<HashPrimaryIndex>,
     /// Secondary indexes by indexed column. The map itself only changes
     /// under `&mut self` (DDL); each index is internally latched, so DML
     /// and queries share it latch-free.
-    secondary: BTreeMap<ColumnId, SecondaryIndex>,
+    pub(crate) secondary: BTreeMap<ColumnId, SecondaryIndex>,
     /// Composite `(leading, value)` secondary indexes, maintained on insert
     /// and visible to the query planner.
-    composites: RwLock<CompositeIndexes>,
+    pub(crate) composites: RwLock<CompositeIndexes>,
     /// Columns whose indexes existed before the experiment began; their
     /// maintenance cost is charged to "existing indexes" in breakdowns.
-    existing: Vec<ColumnId>,
-    trs_params: TrsParams,
+    pub(crate) existing: Vec<ColumnId>,
+    pub(crate) trs_params: TrsParams,
+    /// Checkpoint/WAL state for restart-survivable databases (see
+    /// [`crate::recovery`]); `None` for ephemeral ones. DML holds its
+    /// quiesce latch (read side) across the heap apply + WAL append so a
+    /// checkpoint observes no half-logged statements.
+    pub(crate) durability: Option<crate::recovery::Durability>,
 }
 
 impl Database {
@@ -236,6 +241,7 @@ impl Database {
             composites: RwLock::new(CompositeIndexes::new()),
             existing: Vec::new(),
             trs_params: TrsParams::default(),
+            durability: None,
         }
     }
 
@@ -251,6 +257,7 @@ impl Database {
             composites: RwLock::new(CompositeIndexes::new()),
             existing: Vec::new(),
             trs_params: TrsParams::default(),
+            durability: None,
         }
     }
 
@@ -352,6 +359,20 @@ impl Database {
         row: &[Value],
         breakdown: &mut InsertBreakdown,
     ) -> hermit_storage::Result<Tid> {
+        // Durable databases: refuse up front while the WAL is poisoned,
+        // then hold the quiesce latch (shared side) and the WAL guard
+        // across heap apply + WAL append. The quiesce latch keeps a live
+        // checkpoint from cutting between the two; the WAL guard keeps
+        // apply order and log order identical across threads (same-pk
+        // races would otherwise replay in the wrong order). See
+        // `crate::recovery`.
+        let mut statement = match &self.durability {
+            Some(d) => {
+                d.check_writable()?;
+                Some((d, d.quiesce_read(), d.wal_guard()))
+            }
+            None => None,
+        };
         let pk = row
             .get(self.pk_col)
             .and_then(|v| v.as_i64())
@@ -394,6 +415,13 @@ impl Database {
             self.composites.write().maintain_insert(row, tid);
             breakdown.new_indexes += t2.elapsed();
         }
+
+        // Log last: the WAL is a redo log of *applied* statements, so a
+        // failed insert never leaves a record to replay. Durable only as of
+        // the next commit-batch fsync / checkpoint.
+        if let Some((d, _quiesce, wal)) = statement.as_mut() {
+            d.log_insert(wal, row)?;
+        }
         Ok(tid)
     }
 
@@ -407,6 +435,13 @@ impl Database {
     /// concurrent reader that still finds the stale tid simply fails tid
     /// resolution / validation, exactly like any other dead candidate.
     pub fn delete_by_pk(&self, pk: i64) -> hermit_storage::Result<()> {
+        let mut statement = match &self.durability {
+            Some(d) => {
+                d.check_writable()?;
+                Some((d, d.quiesce_read(), d.wal_guard()))
+            }
+            None => None,
+        };
         let loc = self.primary.read().get(pk).ok_or(StorageError::PkNotFound { pk })?;
         let row = self.heap.delete_returning(loc)?;
         let tid = self.make_tid(pk, loc);
@@ -427,6 +462,9 @@ impl Database {
         }
         if !self.composites.read().is_empty() {
             self.composites.write().maintain_delete(&row, tid);
+        }
+        if let Some((d, _quiesce, wal)) = statement.as_mut() {
+            d.log_delete(wal, pk)?;
         }
         Ok(())
     }

@@ -29,6 +29,16 @@ pub enum CoreError {
         /// Host column of the missing `(leading, host)` baseline.
         host: ColumnId,
     },
+    /// A durability operation (checkpoint, open, WAL commit) was requested
+    /// on a database that cannot support it — an in-memory heap, or a paged
+    /// heap whose store is not the directory's page file.
+    NotDurable {
+        /// Why the database cannot be checkpointed / reopened.
+        reason: &'static str,
+    },
+    /// Checkpoint or recovery failed: a torn checkpoint was detected, an
+    /// on-disk structure is corrupt, or the recovery files are unreadable.
+    Recovery(String),
     /// An underlying storage operation failed.
     Storage(StorageError),
 }
@@ -46,6 +56,8 @@ impl fmt::Display for CoreError {
                 "cannot build a composite Hermit index: no composite baseline index on \
                  (leading={leading}, host={host}) exists"
             ),
+            CoreError::NotDurable { reason } => write!(f, "database is not durable: {reason}"),
+            CoreError::Recovery(what) => write!(f, "recovery failed: {what}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
@@ -63,6 +75,12 @@ impl std::error::Error for CoreError {
 impl From<StorageError> for CoreError {
     fn from(e: StorageError) -> Self {
         CoreError::Storage(e)
+    }
+}
+
+impl From<hermit_storage::RecoveryError> for CoreError {
+    fn from(e: hermit_storage::RecoveryError) -> Self {
+        CoreError::Recovery(e.to_string())
     }
 }
 

@@ -21,6 +21,11 @@
 //! screen candidate (target, host) pairs with Pearson/Spearman coefficients
 //! over a sample and recommend a host column whose index already exists.
 
+//! [`recovery`] makes the paged substrate restart-survivable:
+//! [`Database::checkpoint`] / [`Database::open`] pair a durable page flush
+//! and per-index TRS-Tree snapshots with an atomically-written catalog and
+//! a CRC-framed write-ahead log for the DML tail (§6 / §7.8).
+//!
 //! [`query`] and [`plan`] form the unified query surface: a declarative
 //! [`Query`] of arbitrary conjuncts is turned into an inspectable, costed
 //! [`QueryPlan`] (EXPLAIN via `Display`) choosing among the Hermit route, a
@@ -38,6 +43,7 @@ pub mod executor;
 pub mod index;
 pub mod plan;
 pub mod query;
+pub mod recovery;
 pub mod shared;
 
 pub use batch::BatchOptions;
@@ -50,4 +56,5 @@ pub use executor::{QueryResult, RangePredicate};
 pub use index::SecondaryIndex;
 pub use plan::{AccessPath, PlanKind, QueryPlan};
 pub use query::Query;
+pub use recovery::DurabilityConfig;
 pub use shared::{MaintenanceConfig, MaintenanceWorker, SharedDatabase};

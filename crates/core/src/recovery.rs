@@ -1,0 +1,723 @@
+//! Checkpoint / recovery for the whole database — §7.8's disk-resident
+//! regime made restart-survivable.
+//!
+//! The paper's disk experiment assumes tuples persist on storage while the
+//! index structures live in memory: PostgreSQL owns heap durability, and §6
+//! says the TRS-Tree either checkpoints like an in-memory index (relying on
+//! write-ahead logging for the tail) or persists like a disk index. This
+//! module supplies the RDBMS half of that contract for our paged substrate:
+//!
+//! * [`Database::checkpoint`] makes a durable cut: buffer pool flushed and
+//!   fsynced, every Hermit index snapshotted (the existing TRS-Tree
+//!   snapshot v2 format, now written with its own fsync + rename), and a
+//!   versioned [`Catalog`] written atomically as the commit point.
+//! * A CRC-framed logical WAL ([`hermit_storage::wal`]) captures DML after
+//!   the checkpoint; [`Database::wal_commit`] (and the automatic every-N
+//!   commit batch) is the fsync boundary.
+//! * [`Database::open`] reattaches: pages via [`FilePageStore::open`], the
+//!   heap via `PagedTable::reopen` (live rows and `ColumnStats` recomputed
+//!   by scan), the primary index and baseline B+-trees rebuilt from one
+//!   heap scan, Hermit indexes restored from their epoch-named snapshots
+//!   (or rebuilt from the heap when a snapshot is missing/torn), and the
+//!   WAL replayed through the ordinary DML path — so every index is
+//!   maintained by construction. A torn WAL tail is truncated, never an
+//!   error.
+//!
+//! # Commit points and crash windows
+//!
+//! ```text
+//! ... DML ... ──fsync──> wal commit ──...──> checkpoint (catalog rename)
+//! ```
+//!
+//! * Crash before a WAL commit: statements since the last commit are lost
+//!   (bounded by `wal_sync_every`); everything earlier replays.
+//! * Crash during checkpoint: the catalog rename is the atomic commit
+//!   point. Before it, recovery sees the old catalog + old-epoch WAL and
+//!   recovers the pre-checkpoint state; after it, the new catalog ignores
+//!   the old-epoch WAL (its effects are inside the checkpoint) — the epoch
+//!   fence is what makes "rename, then reset WAL" safe.
+//! * The buffer pool *steals*: evictions (and the pool's drop-flush) may
+//!   push post-checkpoint page states to the file at any time. Recovery
+//!   therefore replays the WAL **idempotently** — per primary key the log
+//!   alternates insert/delete, so applying each record only when the
+//!   recovered heap does not already reflect it converges on the logged
+//!   final state no matter how far the pages ran ahead. The flip side of
+//!   redo-only recovery with steal: a statement that was *not* yet
+//!   WAL-committed can still survive a crash if its page happened to be
+//!   flushed (phantom durability); there is no undo pass to remove it.
+//! * A page write that never reached the device despite the catalog
+//!   claiming it (a lying device / dropped write) is detected on open by
+//!   the catalog's per-page live counts **and content CRCs** whenever the
+//!   WAL shows no post-checkpoint DML, and reported as
+//!   [`CoreError::Recovery`] rather than silently serving stale rows. (With
+//!   post-checkpoint DML in the log, legitimate run-ahead pages are
+//!   indistinguishable from dropped writes at page granularity, so the
+//!   check stands down and idempotent replay carries correctness.)
+//!
+//! # What is covered, and what is not
+//!
+//! Covered: single-statement durability for insert/delete on the paged
+//! substrate, index reconstruction (primary, baseline, Hermit,
+//! `ColumnStats`), torn-tail WAL recovery, torn-checkpoint detection.
+//! Not covered: multi-statement transactions (every statement is its own
+//! commit unit), undo of uncommitted statements (see phantom durability
+//! above), DDL logging (index definitions become durable at the next
+//! checkpoint, not through the WAL), and composite indexes (they are
+//! in-memory-substrate only, which the catalog reflects by never recording
+//! any). The in-memory substrate itself is rejected with a typed
+//! [`CoreError::NotDurable`].
+//!
+//! Durable databases assume **unique primary keys** (the same assumption
+//! `delete_by_pk` and the primary index already make): idempotent replay
+//! and the recovery-time ghost-row sweep both key on the pk. If a WAL
+//! append or a post-catalog WAL reset fails, the WAL is *poisoned* —
+//! subsequent DML and `wal_commit` calls are rejected up front rather than
+//! silently accepting statements that could never be recovered; a
+//! successful checkpoint clears the condition.
+
+use crate::database::{Database, Heap};
+use crate::error::CoreError;
+use crate::index::SecondaryIndex;
+use hermit_btree::{BPlusTree, HashPrimaryIndex};
+use hermit_storage::paged::{BufferPool, FilePageStore, PageStore, PagedTable};
+use hermit_storage::recovery::{write_file_atomic, BaselineDef, Catalog, HermitDef, PageEntry};
+use hermit_storage::wal::{read_wal, WalRecord, WalWriter};
+use hermit_storage::{ColumnId, F64Key, RowLoc, Schema, StorageError, Tid, TidScheme, Value};
+use hermit_trs::{ConcurrentTrsTree, TrsParams, TrsTree};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// File holding the heap pages inside a durability directory.
+pub const PAGES_FILE: &str = "pages.db";
+/// File holding the checkpoint catalog.
+pub const CATALOG_FILE: &str = "catalog.bin";
+/// File holding the write-ahead log.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Name of a Hermit index's snapshot inside the directory: epoch-suffixed
+/// so a snapshot can never be paired with the wrong catalog (a crash
+/// between "snapshot written" and "catalog renamed" leaves a file the old
+/// catalog simply does not reference).
+pub(crate) fn snapshot_name(target: ColumnId, epoch: u64) -> String {
+    format!("trs_{target}.e{epoch}.trst")
+}
+
+/// Knobs for opening / creating a durable database.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+    /// Buffer-pool shards.
+    pub pool_shards: usize,
+    /// Commit batch: the WAL fsyncs automatically after this many appended
+    /// records (1 = every statement durable, at one fsync per statement).
+    /// [`Database::wal_commit`] forces the boundary early.
+    pub wal_sync_every: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig { pool_pages: 1024, pool_shards: 1, wal_sync_every: 64 }
+    }
+}
+
+/// Live durability state attached to a [`Database`].
+pub(crate) struct Durability {
+    dir: PathBuf,
+    /// Checkpoint quiescence: DML holds the read side across heap apply +
+    /// WAL append; `checkpoint` holds the write side across flush →
+    /// snapshots → catalog → WAL reset, so the cut it takes is
+    /// statement-atomic.
+    quiesce: RwLock<()>,
+    wal: Mutex<WalWriter>,
+    /// Epoch of the current catalog/WAL pairing.
+    epoch: AtomicU64,
+    sync_every: usize,
+    /// Raised when the WAL can no longer accept records (an append/fsync
+    /// failed, or a checkpoint committed its catalog but could not reset
+    /// the log). While poisoned, every DML statement and `wal_commit` is
+    /// rejected up front — silently continuing would let statements report
+    /// success and then vanish at recovery. A successful checkpoint clears
+    /// it (the new catalog captures the heap, and a fresh WAL takes over).
+    wal_poisoned: AtomicBool,
+}
+
+fn wal_err(e: hermit_storage::RecoveryError) -> StorageError {
+    StorageError::Io(format!("wal append failed: {e}"))
+}
+
+impl Durability {
+    pub(crate) fn quiesce_read(&self) -> RwLockReadGuard<'_, ()> {
+        self.quiesce.read()
+    }
+
+    /// Reject DML up front while the WAL is poisoned (checked *before* the
+    /// heap apply, so a rejected statement really did nothing).
+    pub(crate) fn check_writable(&self) -> hermit_storage::Result<()> {
+        if self.wal_poisoned.load(Ordering::Acquire) {
+            return Err(StorageError::Io(
+                "durability WAL is unavailable after a failed append or checkpoint; \
+                 take a checkpoint to restore logging"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The per-statement WAL guard. DML acquires it (after the quiesce
+    /// read latch — the same order `checkpoint` uses, so no deadlock) and
+    /// holds it across heap-apply **and** append: without that, two
+    /// threads racing on the same pk could apply in one order and log in
+    /// the other, and replay would reconstruct a state contradicting
+    /// acknowledged statements. Durable DML is therefore serialized per
+    /// database — the honest cost of a single serial redo log.
+    pub(crate) fn wal_guard(&self) -> parking_lot::MutexGuard<'_, WalWriter> {
+        self.wal.lock()
+    }
+
+    pub(crate) fn log_insert(
+        &self,
+        wal: &mut WalWriter,
+        row: &[Value],
+    ) -> hermit_storage::Result<()> {
+        self.log(wal, &WalRecord::Insert { row: row.to_vec() })
+    }
+
+    pub(crate) fn log_delete(&self, wal: &mut WalWriter, pk: i64) -> hermit_storage::Result<()> {
+        self.log(wal, &WalRecord::Delete { pk })
+    }
+
+    fn log(&self, wal: &mut WalWriter, rec: &WalRecord) -> hermit_storage::Result<()> {
+        let result = wal.append(rec).map_err(wal_err).and_then(|pending| {
+            if pending >= self.sync_every {
+                wal.commit().map_err(wal_err)
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = result {
+            // The statement has already been applied in memory (redo-only
+            // logging; there is no undo). Poison the WAL so subsequent
+            // statements fail *before* applying, and report the split
+            // state honestly.
+            self.wal_poisoned.store(true, Ordering::Release);
+            return Err(StorageError::Io(format!(
+                "statement applied in memory but could not be logged ({e}); it becomes \
+                 durable only at the next successful checkpoint, and further DML is \
+                 rejected until then"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encode [`TrsParams`] as the catalog's opaque blob (so a Hermit index
+/// whose snapshot is lost is rebuilt with the parameters it was created
+/// with, not the defaults).
+fn encode_params(p: &TrsParams) -> Vec<u8> {
+    let mut out = Vec::with_capacity(56);
+    out.extend_from_slice(&(p.node_fanout as u32).to_le_bytes());
+    out.extend_from_slice(&(p.max_height as u32).to_le_bytes());
+    out.extend_from_slice(&p.outlier_ratio.to_le_bytes());
+    out.extend_from_slice(&p.error_bound.to_le_bytes());
+    out.extend_from_slice(&p.sampling_fraction.unwrap_or(-1.0).to_le_bytes());
+    out.extend_from_slice(&p.split_trigger_ratio.to_le_bytes());
+    out.extend_from_slice(&p.merge_trigger_ratio.to_le_bytes());
+    out.extend_from_slice(&p.seed.to_le_bytes());
+    out
+}
+
+fn decode_params(blob: &[u8]) -> Option<TrsParams> {
+    if blob.len() != 56 {
+        return None;
+    }
+    let u32_at = |i: usize| u32::from_le_bytes(blob[i..i + 4].try_into().unwrap());
+    let f64_at = |i: usize| f64::from_le_bytes(blob[i..i + 8].try_into().unwrap());
+    let sampling = f64_at(24);
+    let params = TrsParams {
+        node_fanout: u32_at(0) as usize,
+        max_height: u32_at(4) as usize,
+        outlier_ratio: f64_at(8),
+        error_bound: f64_at(16),
+        sampling_fraction: (sampling >= 0.0).then_some(sampling),
+        split_trigger_ratio: f64_at(32),
+        merge_trigger_ratio: f64_at(40),
+        seed: u64::from_le_bytes(blob[48..56].try_into().unwrap()),
+    };
+    params.validate().ok().map(|()| params)
+}
+
+impl Database {
+    /// Create a restart-survivable paged database rooted at `dir`
+    /// (`pages.db`, `catalog.bin`, `wal.log`, and one snapshot per Hermit
+    /// index live inside it). Fails if `dir` already holds a non-empty page
+    /// file — use [`open`](Database::open) to reattach.
+    ///
+    /// The returned database is already checkpointed (empty), so a crash at
+    /// any later point recovers at least the empty table.
+    pub fn create_durable(
+        schema: Schema,
+        pk_col: ColumnId,
+        dir: &Path,
+        config: &DurabilityConfig,
+    ) -> Result<Database, CoreError> {
+        std::fs::create_dir_all(dir).map_err(StorageError::from)?;
+        let store = Arc::new(FilePageStore::create(&dir.join(PAGES_FILE))?);
+        let pool = Arc::new(BufferPool::new_sharded(store, config.pool_pages, config.pool_shards));
+        let table = PagedTable::new(schema, pool);
+        let mut db = Database::new_paged(table, pk_col);
+        db.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            quiesce: RwLock::new(()),
+            wal: Mutex::new(WalWriter::create(&dir.join(WAL_FILE), 0)?),
+            epoch: AtomicU64::new(0),
+            sync_every: config.wal_sync_every.max(1),
+            wal_poisoned: AtomicBool::new(false),
+        });
+        db.checkpoint(dir)?;
+        Ok(db)
+    }
+
+    /// The durability directory this database checkpoints into, if any.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Force the WAL commit-batch boundary: everything appended so far is
+    /// fsynced and will survive a crash. No-op for non-durable databases.
+    pub fn wal_commit(&self) -> hermit_storage::Result<()> {
+        if let Some(d) = &self.durability {
+            d.check_writable()?;
+            d.wal.lock().commit().map_err(wal_err)?;
+        }
+        Ok(())
+    }
+
+    /// Take a durable checkpoint of the whole database into `dir`.
+    ///
+    /// Requires the paged substrate over a [`FilePageStore`] at
+    /// `dir/pages.db` (typed [`CoreError::NotDurable`] otherwise). Writers
+    /// are quiesced for the duration — the §4.4 background reorganization
+    /// worker may keep running, since reorganization never changes index
+    /// *membership*. Sequence (each step durable before the next):
+    ///
+    /// 1. flush + fsync the buffer pool (heap pages), and drain the old
+    ///    WAL writer's buffer into the old generation (a failure here
+    ///    aborts the checkpoint with the previous catalog + WAL intact);
+    /// 2. snapshot every Hermit index to `trs_<col>.e<epoch>.trst`
+    ///    (atomic: temp + fsync + rename);
+    /// 3. atomically write the catalog naming the new epoch — **the commit
+    ///    point**;
+    /// 4. reset the WAL to the new epoch (a crash in between is benign: the
+    ///    stale WAL's epoch no longer matches and is ignored on open; a
+    ///    *failure* of the reset itself poisons the WAL so later DML fails
+    ///    loudly instead of logging into a generation recovery ignores);
+    /// 5. garbage-collect snapshots and temp files of other epochs.
+    pub fn checkpoint(&self, dir: &Path) -> Result<(), CoreError> {
+        let Heap::Paged(table) = &self.heap else {
+            return Err(CoreError::NotDurable {
+                reason: "the in-memory heap has no backing store; only paged databases checkpoint",
+            });
+        };
+        if let Some(d) = &self.durability {
+            if d.dir != dir {
+                return Err(CoreError::NotDurable {
+                    reason: "checkpoint directory does not match the attached durability directory",
+                });
+            }
+        }
+        let pages_path = dir.join(PAGES_FILE);
+        if table.pool().store().file_path() != Some(pages_path.as_path()) {
+            return Err(CoreError::NotDurable {
+                reason: "page store is not file-backed at <dir>/pages.db",
+            });
+        }
+
+        let _quiesce = self.durability.as_ref().map(|d| d.quiesce.write());
+        table.pool().flush()?;
+
+        // Drain the old writer's buffer into the *old* generation before
+        // anything commits: its records will be inside this checkpoint, so
+        // the flush is harmless — but letting the old BufWriter drop-flush
+        // *after* the later truncate would smuggle stale frames (with
+        // valid CRCs!) into the new epoch's log, and recovery would
+        // re-apply statements the checkpoint already contains. Doing it
+        // before the catalog write means a failure aborts cleanly, old
+        // catalog + old WAL still consistent. Skipped while poisoned (the
+        // writer is known broken; the heap state being checkpointed is the
+        // truth, and a successful reset below un-poisons).
+        if let Some(d) = &self.durability {
+            if !d.wal_poisoned.load(Ordering::Acquire) {
+                d.wal.lock().commit().map_err(wal_err)?;
+            }
+        }
+
+        let epoch = match &self.durability {
+            Some(d) => d.epoch.load(Ordering::Acquire) + 1,
+            // Checkpointing a hand-built database: continue the directory's
+            // epoch sequence if a catalog exists.
+            None => Catalog::read(&dir.join(CATALOG_FILE)).map(|c| c.wal_epoch + 1).unwrap_or(1),
+        };
+
+        let mut baselines = Vec::new();
+        let mut hermits = Vec::new();
+        for (&col, index) in self.secondary.iter() {
+            match index {
+                SecondaryIndex::Baseline(_) => baselines
+                    .push(BaselineDef { column: col, existing: self.existing.contains(&col) }),
+                SecondaryIndex::Hermit { trs, host } => {
+                    let bytes = trs.snapshot_bytes().map_err(|e| {
+                        CoreError::Recovery(format!("snapshot of column {col}: {e}"))
+                    })?;
+                    write_file_atomic(&dir.join(snapshot_name(col, epoch)), &bytes)
+                        .map_err(StorageError::from)?;
+                    hermits.push(HermitDef {
+                        target: col,
+                        host: *host,
+                        params: encode_params(&trs.params()),
+                    });
+                }
+            }
+        }
+
+        let pages = table.pages();
+        let observed = table.page_checkpoint_entries()?;
+        let catalog = Catalog {
+            schema: table.schema().clone(),
+            pk_col: self.pk_col,
+            scheme: self.scheme,
+            wal_epoch: epoch,
+            next_page: table.pool().store().page_count(),
+            pages: pages
+                .into_iter()
+                .zip(observed)
+                .map(|(page, (live_rows, crc))| PageEntry { page, live_rows, crc })
+                .collect(),
+            baselines,
+            hermits,
+        };
+        catalog.write_atomic(&dir.join(CATALOG_FILE))?;
+
+        match &self.durability {
+            Some(d) => {
+                // The catalog is committed; the old-epoch WAL is now dead
+                // weight (its records are inside the checkpoint). If the
+                // reset fails, the live writer would keep logging into a
+                // generation recovery ignores — poison instead, so every
+                // later statement is rejected before it applies.
+                let mut wal = d.wal.lock();
+                match WalWriter::create(&dir.join(WAL_FILE), epoch) {
+                    Ok(fresh) => {
+                        // Discard, don't drop: a poisoned old writer can
+                        // still hold buffered frames, and a drop-flush
+                        // would land them inside the just-truncated file.
+                        std::mem::replace(&mut *wal, fresh).discard();
+                        d.epoch.store(epoch, Ordering::Release);
+                        d.wal_poisoned.store(false, Ordering::Release);
+                    }
+                    Err(e) => {
+                        d.wal_poisoned.store(true, Ordering::Release);
+                        return Err(CoreError::Recovery(format!(
+                            "checkpoint committed (epoch {epoch}) but the WAL could not be \
+                             reset ({e}); DML is rejected until a checkpoint succeeds"
+                        )));
+                    }
+                }
+            }
+            None => {
+                WalWriter::create(&dir.join(WAL_FILE), epoch)?;
+            }
+        }
+
+        // GC snapshot files from other epochs and orphaned temp siblings
+        // (both are torn-checkpoint leftovers the current catalog never
+        // references).
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            let keep = format!(".e{epoch}.trst");
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let stale_snapshot = name.ends_with(".trst") && !name.ends_with(&keep);
+                if name.starts_with("trs_") && (stale_snapshot || name.ends_with(".tmp")) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reopen a checkpointed database from `dir`, replaying any WAL tail.
+    /// See the module docs for the recovery sequence and guarantees.
+    pub fn open(dir: &Path, config: &DurabilityConfig) -> Result<Database, CoreError> {
+        let store = Arc::new(FilePageStore::open(&dir.join(PAGES_FILE))?);
+        Self::open_with_store(dir, store, config)
+    }
+
+    /// [`open`](Database::open) with an injected page store (recovery tests
+    /// substitute fault-injecting stores). The store must present the same
+    /// pages `dir/pages.db` holds; its allocation watermark is raised to
+    /// the catalog's via [`PageStore::reserve`].
+    pub fn open_with_store(
+        dir: &Path,
+        store: Arc<dyn PageStore>,
+        config: &DurabilityConfig,
+    ) -> Result<Database, CoreError> {
+        let catalog = Catalog::read(&dir.join(CATALOG_FILE))?;
+        store.reserve(catalog.next_page);
+        let pool = Arc::new(BufferPool::new_sharded(store, config.pool_pages, config.pool_shards));
+        let page_ids: Vec<u64> = catalog.pages.iter().map(|e| e.page).collect();
+        let (table, observed) = PagedTable::reopen(catalog.schema.clone(), pool, page_ids)?;
+
+        // A stale-epoch WAL predates the catalog (its effects are inside
+        // the checkpoint) and is safe to reset. So is a missing or
+        // header-torn one: only a crash between catalog rename and WAL
+        // reset produces those, and the pre-reset content was already
+        // inside the checkpoint. A *real* I/O error must propagate —
+        // falling through to the reset would truncate a possibly-valid
+        // committed log.
+        let wal_path = dir.join(WAL_FILE);
+        use hermit_storage::RecoveryError;
+        let replay = match read_wal(&wal_path) {
+            Ok(r) if r.epoch == catalog.wal_epoch => Some(r),
+            Ok(_) => None,
+            Err(RecoveryError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(RecoveryError::BadMagic) | Err(RecoveryError::Corrupt(_)) => None,
+            Err(e) => {
+                return Err(CoreError::Recovery(format!(
+                    "cannot read the WAL at {}: {e}",
+                    wal_path.display()
+                )))
+            }
+        };
+
+        // Torn-checkpoint detection. The durable pages may legitimately run
+        // *ahead* of the catalog — post-checkpoint DML reaches the file
+        // through evictions and pool flushes — but every such statement
+        // also appended a WAL record under the same quiesce latch. So when
+        // the same-epoch WAL is empty and untorn (no post-checkpoint DML
+        // evidence at all), the pages must match the catalog exactly; a
+        // mismatch means a write the checkpoint claimed durable never
+        // reached the device (a lying disk / dropped write).
+        let quiescent = replay.as_ref().is_some_and(|r| r.records.is_empty() && !r.torn_tail);
+        if quiescent {
+            for (entry, &(live, crc)) in catalog.pages.iter().zip(&observed) {
+                if entry.live_rows != live || entry.crc != crc {
+                    return Err(CoreError::Recovery(format!(
+                        "page {} does not match the catalog ({live} live rows / crc {crc:#x} on \
+                         disk vs {} / {:#x} recorded) and no post-checkpoint DML exists: torn \
+                         checkpoint (a page write never reached the device)",
+                        entry.page, entry.live_rows, entry.crc
+                    )));
+                }
+            }
+        }
+
+        let mut db = Database::new_paged(table, catalog.pk_col);
+        db.scheme = catalog.scheme;
+        db.rebuild_indexes(&catalog, dir)?;
+
+        // Replay the WAL tail through the ordinary DML path (durability not
+        // yet attached, so replay does not re-log). Replay is *idempotent*
+        // per primary key: a record is applied only when the recovered heap
+        // does not already reflect it, because any prefix of these
+        // statements may have reached the page file before the crash (see
+        // the torn-checkpoint note above). Per pk the log alternates
+        // insert/delete, so apply-when-applicable converges on the logged
+        // final state regardless of how far the pages ran ahead.
+        let writer = match replay {
+            Some(replay) => {
+                let width = catalog.schema.width();
+                for rec in &replay.records {
+                    match rec {
+                        WalRecord::Insert { row } => {
+                            if row.len() != width {
+                                return Err(CoreError::Recovery(format!(
+                                    "wal insert record arity {} does not match schema width {width}",
+                                    row.len()
+                                )));
+                            }
+                            let pk = row.get(catalog.pk_col).and_then(|v| v.as_i64()).ok_or_else(
+                                || CoreError::Recovery("wal insert record lacks a pk".into()),
+                            )?;
+                            let existing = db.primary().get(pk);
+                            match existing {
+                                None => {
+                                    db.insert(row).map_err(|e| {
+                                        CoreError::Recovery(format!(
+                                            "wal insert replay failed: {e}"
+                                        ))
+                                    })?;
+                                }
+                                Some(loc) => {
+                                    // The heap ran ahead of the checkpoint
+                                    // (steal), but the snapshot-restored
+                                    // Hermit trees are strictly *at* the
+                                    // checkpoint — every same-epoch record
+                                    // postdates them. Re-apply index-only
+                                    // maintenance or the entry is a
+                                    // permanent false negative. (Baseline
+                                    // trees and the primary are rebuilt
+                                    // from the heap and already carry it.)
+                                    db.reapply_hermit_insert(row, pk, loc);
+                                }
+                            }
+                        }
+                        WalRecord::Delete { pk } => {
+                            // A delete the heap already reflects is skipped
+                            // entirely: a Hermit entry the snapshot still
+                            // carries for it is a benign stale tid —
+                            // resolution/validation filters it, exactly
+                            // like any other dead candidate.
+                            if db.primary().get(*pk).is_some() {
+                                db.delete_by_pk(*pk).map_err(|e| {
+                                    CoreError::Recovery(format!("wal delete replay failed: {e}"))
+                                })?;
+                            }
+                        }
+                    }
+                }
+                WalWriter::open_append(&wal_path, replay.epoch, replay.valid_len)?
+            }
+            None => WalWriter::create(&wal_path, catalog.wal_epoch)?,
+        };
+
+        db.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            quiesce: RwLock::new(()),
+            wal: Mutex::new(writer),
+            epoch: AtomicU64::new(catalog.wal_epoch),
+            sync_every: config.wal_sync_every.max(1),
+            wal_poisoned: AtomicBool::new(false),
+        });
+        Ok(db)
+    }
+
+    /// Index-only redo for a WAL insert whose row already reached the heap
+    /// before the crash: push the entry into every Hermit index, keyed to
+    /// the existing row's location. See the replay loop in
+    /// [`open_with_store`](Database::open_with_store).
+    fn reapply_hermit_insert(&self, row: &[Value], pk: i64, loc: hermit_storage::RowLoc) {
+        let tid = match self.scheme {
+            TidScheme::Physical => Tid::from_loc(loc),
+            TidScheme::Logical => Tid::from_pk(pk),
+        };
+        for (&col, index) in self.secondary.iter() {
+            if let SecondaryIndex::Hermit { trs, host } = index {
+                if let (Some(m), Some(n)) = (row[col].as_f64(), row[*host].as_f64()) {
+                    trs.insert(m, n, tid);
+                }
+            }
+        }
+    }
+
+    /// Rebuild the in-memory side from the recovered heap: primary index
+    /// and every baseline B+-tree from **one** heap scan; Hermit indexes
+    /// from their epoch-named snapshots, falling back to a fresh build from
+    /// the heap (with the catalog's recorded parameters) when a snapshot is
+    /// missing or torn.
+    fn rebuild_indexes(&mut self, catalog: &Catalog, dir: &Path) -> Result<(), CoreError> {
+        let pk_col = self.pk_col;
+        let scheme = self.scheme;
+        let base_cols: Vec<ColumnId> = catalog.baselines.iter().map(|b| b.column).collect();
+        let mut primary;
+        let mut entries: Vec<Vec<(F64Key, Tid)>>;
+        loop {
+            primary = HashPrimaryIndex::with_capacity(self.heap.len());
+            entries = vec![Vec::new(); base_cols.len()];
+            // Because the pool steals at page granularity, a lost delete
+            // tombstone (page never flushed) can coexist with a flushed
+            // re-insert of the same pk: two live heap rows for one key.
+            // The later one (pages scan in insert order) is the newer
+            // version; the earlier is a ghost whose tombstone the crash
+            // ate. Tombstone it now, or replay's per-pk idempotence would
+            // leave it live forever.
+            let mut ghosts: Vec<RowLoc> = Vec::new();
+            self.heap.for_each_live_row(|loc, row| {
+                let pk = row.value(pk_col).as_i64().unwrap_or(0);
+                if let Some(old) = primary.get(pk) {
+                    ghosts.push(old);
+                }
+                primary.insert(pk, loc);
+                let tid = match scheme {
+                    TidScheme::Physical => Tid::from_loc(loc),
+                    TidScheme::Logical => Tid::from_pk(pk),
+                };
+                for (slot, &col) in base_cols.iter().enumerate() {
+                    if let Some(k) = row.f64(col) {
+                        entries[slot].push((F64Key(k), tid));
+                    }
+                }
+                true
+            });
+            if ghosts.is_empty() {
+                break;
+            }
+            // Rare path: drop the ghosts (fixing live counts and stats),
+            // then rebuild from the now-clean heap — the pass-1 entries
+            // still reference the ghost rows.
+            let Heap::Paged(table) = &self.heap else { unreachable!("recovery is paged-only") };
+            for loc in ghosts {
+                table.delete(loc)?;
+            }
+        }
+        self.primary = RwLock::new(primary);
+        for (slot, def) in catalog.baselines.iter().enumerate() {
+            let mut e = std::mem::take(&mut entries[slot]);
+            e.sort_by_key(|entry| entry.0);
+            self.secondary.insert(def.column, SecondaryIndex::baseline(BPlusTree::bulk_load(e)));
+            if def.existing && !self.existing.contains(&def.column) {
+                self.existing.push(def.column);
+            }
+        }
+        for def in &catalog.hermits {
+            let snapshot = dir.join(snapshot_name(def.target, catalog.wal_epoch));
+            match TrsTree::restore(&snapshot) {
+                Ok(tree) => {
+                    self.secondary.insert(
+                        def.target,
+                        SecondaryIndex::Hermit {
+                            trs: ConcurrentTrsTree::new(tree),
+                            host: def.host,
+                        },
+                    );
+                }
+                Err(_) => {
+                    // Missing or torn snapshot: rebuild from the recovered
+                    // heap, with the parameters the index was created with.
+                    let saved = self.trs_params;
+                    self.trs_params = decode_params(&def.params).unwrap_or_default();
+                    let built = self.create_hermit_index(def.target, def.host);
+                    self.trs_params = saved;
+                    built?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_blob_roundtrip() {
+        let p = TrsParams {
+            node_fanout: 4,
+            max_height: 7,
+            error_bound: 3.25,
+            sampling_fraction: Some(0.05),
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(decode_params(&encode_params(&p)), Some(p));
+        let none = TrsParams { sampling_fraction: None, ..Default::default() };
+        assert_eq!(decode_params(&encode_params(&none)), Some(none));
+        assert_eq!(decode_params(&[1, 2, 3]), None, "short blob rejected");
+        let mut bad = encode_params(&TrsParams::default());
+        bad[0] = 0; // node_fanout = 0 fails validation
+        assert_eq!(decode_params(&bad), None);
+    }
+}

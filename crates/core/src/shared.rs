@@ -143,6 +143,29 @@ impl SharedDatabase {
         Arc::try_unwrap(self.inner).map_err(|inner| SharedDatabase { inner })
     }
 
+    /// Take a live checkpoint of a durable database (see
+    /// [`crate::recovery`]): writers are quiesced for the duration via the
+    /// durability latch — concurrent `insert`/`delete_by_pk` calls block
+    /// briefly, readers and the background maintenance worker keep running.
+    /// Typed [`crate::CoreError::NotDurable`] when the database was not
+    /// opened/created through the durability API.
+    pub fn checkpoint(&self) -> Result<(), crate::CoreError> {
+        let dir = self
+            .inner
+            .durability_dir()
+            .ok_or(crate::CoreError::NotDurable {
+                reason: "database has no attached durability directory",
+            })?
+            .to_path_buf();
+        self.inner.checkpoint(&dir)
+    }
+
+    /// Force the WAL commit boundary: every statement executed so far
+    /// survives a crash. No-op for non-durable databases.
+    pub fn wal_commit(&self) -> hermit_storage::Result<()> {
+        self.inner.wal_commit()
+    }
+
     /// Run one synchronous maintenance sweep: for every Hermit index whose
     /// reorganization queue is non-empty, execute one Appendix-B
     /// [`hermit_trs::ConcurrentTrsTree::reorganize_pass`] over up to `limit` queued

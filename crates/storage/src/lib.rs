@@ -14,6 +14,11 @@
 //!   store and a clock-replacement buffer pool, with I/O accounting. This is
 //!   the "PostgreSQL" substrate used by the disk-based experiment (Fig. 24).
 //!
+//! The paged substrate is restart-survivable: [`recovery`] provides the
+//! versioned checkpoint catalog (written atomically) and [`wal`] the
+//! CRC-framed write-ahead log that together let a database reopen from disk
+//! with bounded loss (everything up to the last WAL commit).
+//!
 //! Both substrates expose the two tuple-identifier schemes discussed in §5.1
 //! of the paper through [`Tid`] / [`TidScheme`]: *physical pointers*
 //! (block + offset row locations) and *logical pointers* (primary keys that
@@ -23,20 +28,24 @@ pub mod batch;
 pub mod column;
 pub mod error;
 pub mod paged;
+pub mod recovery;
 pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod tid;
 pub mod value;
+pub mod wal;
 
 pub use batch::RowRef;
 pub use column::Column;
 pub use error::StorageError;
+pub use recovery::{BaselineDef, Catalog, HermitDef, PageEntry, RecoveryError};
 pub use schema::{ColumnDef, ColumnId, ColumnType, Schema};
 pub use stats::ColumnStats;
 pub use table::{RowLoc, Table};
 pub use tid::{Tid, TidScheme};
 pub use value::{F64Key, Value};
+pub use wal::{WalRecord, WalReplay, WalWriter};
 
 /// Convenience result alias used across the storage crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -194,7 +194,9 @@ impl BufferPool {
         Ok(f(&mut frame.page))
     }
 
-    /// Write all dirty frames back to the store.
+    /// Write all dirty frames back to the store and [`PageStore::sync`] it,
+    /// so a completed flush is an actual durability point (previously the
+    /// written pages could still sit in the OS page cache at a crash).
     pub fn flush(&self) -> Result<()> {
         for shard in &self.shards {
             let mut inner = shard.lock();
@@ -205,7 +207,7 @@ impl BufferPool {
                 }
             }
         }
-        Ok(())
+        self.store.sync()
     }
 
     /// Drop every cached frame (writing dirty ones back). Used by benchmarks
@@ -257,6 +259,19 @@ impl BufferPool {
             return Ok(idx);
         }
         unreachable!("clock sweep always finds a victim within two sweeps");
+    }
+}
+
+/// Dropping the pool flushes dirty frames back to the store, best-effort.
+///
+/// Without this, every dirty frame still resident at drop was silently
+/// discarded — on a file-backed store the rows were simply gone after
+/// reopen. Errors are swallowed (there is nowhere to report them from a
+/// destructor); paths that need guaranteed durability call
+/// [`flush`](BufferPool::flush) explicitly and check the result.
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
@@ -315,6 +330,31 @@ mod tests {
         // Bypass the pool: the store must have the data.
         let raw = store.read(id).unwrap();
         assert_eq!(raw.get(0).unwrap(), &99u64.to_le_bytes());
+    }
+
+    #[test]
+    fn dropped_pool_flushes_dirty_frames_to_the_store() {
+        use crate::paged::io::FilePageStore;
+        let dir = std::env::temp_dir().join(format!("hermit-pool-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let id = {
+            let store = Arc::new(FilePageStore::create(&path).unwrap());
+            let p = BufferPool::new(store, 4);
+            let id = p.allocate(8).unwrap();
+            p.write(id, |page| page.insert(&4_2u64.to_le_bytes()).unwrap()).unwrap();
+            id
+            // Pool dropped here with the frame still dirty — the Drop impl
+            // must write it back (the old behavior lost the row entirely).
+        };
+        let store = FilePageStore::open(&path).unwrap();
+        let page = store.read(id).unwrap();
+        assert_eq!(
+            page.get(0).unwrap(),
+            &4_2u64.to_le_bytes(),
+            "dirty frame dropped on the floor: row did not survive pool drop + reopen"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

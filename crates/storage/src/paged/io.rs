@@ -18,6 +18,7 @@ use crate::Result;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -70,23 +71,89 @@ pub trait PageStore: Send + Sync {
 
     /// I/O counters.
     fn stats(&self) -> &IoStats;
+
+    /// Force previously accepted writes down to the durable medium (fsync).
+    ///
+    /// `write` only promises the data reached the store, not that it
+    /// survives a crash; callers that need durability (buffer-pool flush,
+    /// checkpointing) must follow their writes with `sync`. The default is
+    /// a no-op, correct for stores with no volatile buffer between `write`
+    /// and the medium ([`SimulatedPageStore`], test fault injectors).
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Path of the backing file for file-backed stores, `None` otherwise.
+    ///
+    /// The checkpoint machinery uses this to verify a database's pages
+    /// actually live where the catalog will claim they do. Wrapper stores
+    /// (fault injectors) should forward it.
+    fn file_path(&self) -> Option<&Path> {
+        None
+    }
+
+    /// Raise the allocation watermark to at least `pages`.
+    ///
+    /// Recovery calls this with the catalog's watermark so future
+    /// allocations never collide with page ids a torn checkpoint may
+    /// already have handed out, even when the backing file is shorter than
+    /// the catalog remembers. Default no-op; wrapper stores should forward.
+    fn reserve(&self, pages: u64) {
+        let _ = pages;
+    }
 }
 
 /// A [`PageStore`] backed by a real file.
 pub struct FilePageStore {
     file: Mutex<File>,
+    path: PathBuf,
     next_page: AtomicU64,
     stats: IoStats,
 }
 
 impl FilePageStore {
-    /// Create (truncating) a file-backed store at `path`.
-    pub fn create(path: &std::path::Path) -> Result<Self> {
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+    /// Create a file-backed store at `path`.
+    ///
+    /// Fails with [`StorageError::Io`] if a non-empty file already exists
+    /// there (`create_new` semantics): `create` used to truncate silently,
+    /// which turned an accidental re-`create` of a database file into
+    /// unrecoverable data loss. Use [`open`](Self::open) to attach to an
+    /// existing store.
+    pub fn create(path: &Path) -> Result<Self> {
+        if let Ok(meta) = std::fs::metadata(path) {
+            if meta.len() > 0 {
+                return Err(StorageError::Io(format!(
+                    "refusing to create page store over existing non-empty file {} \
+                     ({} bytes); use FilePageStore::open to attach",
+                    path.display(),
+                    meta.len()
+                )));
+            }
+        }
+        // truncate(false): the pre-check above established the file is
+        // empty or absent; truncating would mask a race with a concurrent
+        // creator rather than surface it.
+        #[allow(clippy::suspicious_open_options)]
+        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
         Ok(FilePageStore {
             file: Mutex::new(file),
+            path: path.to_path_buf(),
             next_page: AtomicU64::new(0),
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Attach to an existing page file, deriving the allocation watermark
+    /// from the file length. A trailing partial page (a write torn by a
+    /// crash) is rounded off — it sits past every checkpointed page, so
+    /// nothing can reference it, and the next allocation overwrites it.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let pages = file.metadata()?.len() / PAGE_SIZE as u64;
+        Ok(FilePageStore {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+            next_page: AtomicU64::new(pages),
             stats: IoStats::default(),
         })
     }
@@ -126,6 +193,19 @@ impl PageStore for FilePageStore {
 
     fn stats(&self) -> &IoStats {
         &self.stats
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_all()?;
+        Ok(())
+    }
+
+    fn file_path(&self) -> Option<&Path> {
+        Some(&self.path)
+    }
+
+    fn reserve(&self, pages: u64) {
+        self.next_page.fetch_max(pages, Ordering::Relaxed);
     }
 }
 
@@ -211,6 +291,13 @@ impl PageStore for SimulatedPageStore {
     fn stats(&self) -> &IoStats {
         &self.stats
     }
+
+    fn reserve(&self, pages: u64) {
+        let mut slots = self.pages.lock();
+        if slots.len() < pages as usize {
+            slots.resize_with(pages as usize, || None);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +326,45 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("pages.db");
         roundtrip(&FilePageStore::create(&path).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_open_reattaches_and_create_refuses_overwrite() {
+        let dir = std::env::temp_dir().join(format!("hermit-io-open-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        {
+            let store = FilePageStore::create(&path).unwrap();
+            assert_eq!(store.file_path(), Some(path.as_path()));
+            for i in 0..3u64 {
+                let id = store.allocate();
+                let mut p = Page::new(8);
+                p.insert(&i.to_le_bytes()).unwrap();
+                store.write(id, &p).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // `create` over the now non-empty file must refuse rather than
+        // truncate (the old behavior silently destroyed the database).
+        assert!(matches!(FilePageStore::create(&path), Err(StorageError::Io(_))));
+        // `open` derives the watermark from the file length.
+        let store = FilePageStore::open(&path).unwrap();
+        assert_eq!(store.page_count(), 3);
+        for i in 0..3u64 {
+            let p = store.read(i).unwrap();
+            assert_eq!(p.get(0).unwrap(), &i.to_le_bytes());
+        }
+        // A torn trailing page (crash mid-write) is rounded off…
+        let f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.set_len(3 * PAGE_SIZE as u64 + 100).unwrap();
+        let store = FilePageStore::open(&path).unwrap();
+        assert_eq!(store.page_count(), 3, "partial trailing page must not count");
+        // …and `reserve` can push the watermark past the file (catalog wins).
+        store.reserve(10);
+        assert_eq!(store.page_count(), 10);
+        store.reserve(5);
+        assert_eq!(store.page_count(), 10, "reserve never lowers the watermark");
         std::fs::remove_dir_all(&dir).ok();
     }
 

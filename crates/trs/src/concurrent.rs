@@ -282,6 +282,14 @@ impl ConcurrentTrsTree {
         self.reorg_passes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Serialize a checkpoint of the tree under the write latch (the
+    /// snapshot compacts the arena first, hence exclusive access). Writers
+    /// and lookups block only for the serialization itself — a TRS-Tree
+    /// snapshot is KBs by construction (§6), so the pause is brief.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, crate::persist::PersistError> {
+        self.tree.write().snapshot_bytes()
+    }
+
     /// Run a closure against the inner tree under the read latch (escape
     /// hatch for read-only inspection that has no dedicated delegate, e.g.
     /// invariant checks in tests).

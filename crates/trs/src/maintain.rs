@@ -44,9 +44,16 @@ impl TrsTree {
         let params = self.params;
         let (buffered, candidate) = {
             let node = self.node_mut(leaf_id);
+            // A key outside the leaf's range (traverse clamps out-of-domain
+            // keys to the edge leaves) must be buffered even when the
+            // model's *extrapolation* happens to cover it: lookups only
+            // evaluate the band over the leaf's own range, so a
+            // model-"covered" out-of-range tuple would be permanently
+            // unreachable — a silent false negative.
+            let in_range = node.range.contains(m);
             let NodeKind::Leaf(leaf) = &mut node.kind else { unreachable!() };
             leaf.covered += 1;
-            let buffered = if !leaf.covers(m, n) {
+            let buffered = if !in_range || !leaf.covers(m, n) {
                 leaf.outliers.add(m, tid);
                 true
             } else {
@@ -239,6 +246,32 @@ mod tests {
             }
         }
         assert!(saw_merge, "merge candidate expected after delete flood");
+    }
+
+    #[test]
+    fn out_of_domain_insert_is_buffered_and_findable() {
+        // Regression: a key past the root range clamps to an edge leaf,
+        // and the edge model's *extrapolation* can happen to cover the
+        // tuple (host = 2·target here, linear everywhere). It used to be
+        // accepted as model-covered and silently lost — lookups never
+        // extend the band beyond the leaf range, so nothing could ever
+        // find it again.
+        let mut tree = linear_tree(4_000);
+        assert!(
+            tree.insert(5_000.0, 10_000.0, Tid(1)),
+            "out-of-domain insert must be buffered even when the model extrapolates over it"
+        );
+        assert!(tree.insert(-100.0, -200.0, Tid(2)), "below-domain insert too");
+        assert_eq!(tree.lookup_point(5_000.0).tids, vec![Tid(1)]);
+        assert_eq!(tree.lookup_point(-100.0).tids, vec![Tid(2)]);
+        // Range lookups straddling the domain edge find them as well.
+        assert!(tree.lookup(4_500.0, 6_000.0).tids.contains(&Tid(1)));
+        assert!(tree.lookup(-150.0, 10.0).tids.contains(&Tid(2)));
+        // And the tombstone path can reach them.
+        assert!(tree.delete(5_000.0, Tid(1)));
+        assert!(tree.lookup_point(5_000.0).tids.is_empty());
+        // In-domain on-model inserts are still free.
+        assert!(!tree.insert(500.5, 1_001.0, Tid(3)));
     }
 
     #[test]

@@ -341,7 +341,13 @@ impl TrsTree {
         }
     }
 
-    /// Checkpoint to a file (atomic: write to a temp sibling, then rename).
+    /// Checkpoint to a file, atomically *and durably*: the snapshot is
+    /// written to a temp sibling, **fsynced**, renamed over the target, and
+    /// the parent directory is fsynced so the rename itself survives a
+    /// crash. The previous implementation skipped the fsyncs — a crash
+    /// shortly after `checkpoint` returned could leave a torn snapshot at
+    /// `path` (the rename was durable before the data was), which
+    /// [`restore`](TrsTree::restore) would then half-parse and reject.
     pub fn checkpoint(&mut self, path: &std::path::Path) -> Result<(), PersistError> {
         let tmp = path.with_extension("tmp");
         {
@@ -349,8 +355,12 @@ impl TrsTree {
             let mut buf = std::io::BufWriter::new(file);
             self.snapshot_to(&mut buf)?;
             buf.flush()?;
+            buf.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            hermit_storage::recovery::sync_dir(dir);
+        }
         Ok(())
     }
 
@@ -527,6 +537,34 @@ mod tests {
             restored.reorg_queue_len() > 0,
             "v1 restore must re-derive candidates from leaf counters"
         );
+    }
+
+    #[test]
+    fn truncated_checkpoint_file_is_rejected_not_half_parsed() {
+        let dir = std::env::temp_dir().join(format!("hermit-torn-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.trst");
+        let mut tree = sample_tree(8_000);
+        tree.checkpoint(&path).unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        // A crash mid-write tears the snapshot at an arbitrary byte; every
+        // truncation point must produce a typed error, never a tree built
+        // from a partial parse.
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [1u64, 4, 8, full / 4, full / 2, full - 1] {
+            let torn = dir.join("torn.trst");
+            std::fs::write(&torn, &bytes[..(full - cut) as usize]).unwrap();
+            assert!(
+                TrsTree::restore(&torn).is_err(),
+                "snapshot torn {cut} bytes short must not restore"
+            );
+        }
+        // A leftover temp sibling from a torn *later* checkpoint does not
+        // shadow the committed snapshot.
+        std::fs::write(path.with_extension("tmp"), &bytes[..full as usize / 3]).unwrap();
+        let restored = TrsTree::restore(&path).unwrap();
+        assert_stats_match(&tree, &restored);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
