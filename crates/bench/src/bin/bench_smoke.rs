@@ -226,6 +226,74 @@ fn reorg_under_churn(rows: usize) -> String {
     )
 }
 
+/// End-to-end TCP serving: `clients` connections drive point + range
+/// queries through a live [`HermitServer`](hermit_server::HermitServer) on a loopback socket for
+/// `budget`. Reports aggregate q/s and the client-observed p50/p99
+/// round-trip latency (request encode → frame → TCP → plan → execute →
+/// materialize → frame → decode), which is what a real deployment sees.
+fn server_throughput(rows: usize, clients: usize, budget: Duration) -> String {
+    use hermit_server::{HermitClient, HermitServer, ServerConfig};
+    let shared = SharedDatabase::new(build_mem_simple(rows));
+    let server = HermitServer::start(shared, None, ServerConfig::default(), "127.0.0.1:0")
+        .expect("bind loopback bench server");
+    let addr = server.local_addr();
+    let queries: Vec<Query> = {
+        let mut gen = QueryGen::new((0.0, (rows - 1) as f64), 0x5E0F);
+        let mut qs: Vec<Query> = gen
+            .ranges(RANGE_SELECTIVITY, RANGE_QUERIES)
+            .into_iter()
+            .map(|(lb, ub)| Query::new().range(2, lb, ub))
+            .collect();
+        qs.extend(gen.points(POINT_QUERIES).into_iter().map(|p| Query::new().point(2, p)));
+        qs
+    };
+    let stop = AtomicBool::new(false);
+    let (latencies, elapsed) = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (stop, queries) = (&stop, &queries);
+                s.spawn(move |_| {
+                    let mut client = HermitClient::connect(addr).expect("connect bench client");
+                    let mut lats = Vec::with_capacity(1 << 14);
+                    let mut i = c;
+                    while !stop.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        let rows = client.query(&queries[i % queries.len()]).expect("bench query");
+                        std::hint::black_box(rows.len());
+                        lats.push(t0.elapsed().as_micros() as u64);
+                        i += 1;
+                    }
+                    lats
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        std::thread::sleep(budget);
+        stop.store(true, Ordering::Relaxed);
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        (all, t0.elapsed())
+    })
+    .unwrap();
+    server.stop();
+    let mut lats = latencies;
+    lats.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if lats.is_empty() {
+            return 0;
+        }
+        lats[((lats.len() - 1) as f64 * q) as usize]
+    };
+    let qps = lats.len() as f64 / elapsed.as_secs_f64();
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    println!(
+        "server {clients} client(s) over TCP: {qps:>12.0} q/s   p50 {p50:>6} us   p99 {p99:>6} us"
+    );
+    format!("{{\"clients\": {clients}, \"qps\": {qps:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}}}")
+}
+
 /// Durability subsystem throughput: checkpoint bandwidth, raw WAL append
 /// rate, and full recovery time for a `rows`-row database with a baseline +
 /// Hermit index. Everything runs against a real file-backed store in a
@@ -396,14 +464,16 @@ fn main() {
     }
     let reorg_json = reorg_under_churn(rows);
     let durability_json = durability_metrics(rows);
+    let server_json = server_throughput(rows, 4, BUDGET);
 
     let json = format!(
-        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"durability\": {},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
+        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"durability\": {},\n  \"server\": {},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
         sections.join(",\n"),
         reader_fields.join(", "),
         writer_field,
         reorg_json,
         durability_json,
+        server_json,
         headline
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| {

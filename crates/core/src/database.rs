@@ -645,6 +645,30 @@ impl Database {
         }
     }
 
+    /// Buffer-pool counters of the paged substrate — `(hits, misses,
+    /// evictions)` since startup (or the pool's last reset). `None` for the
+    /// in-memory heap, which has no pool. The serving layer's `Stats`
+    /// exporter reads this.
+    pub fn pool_counters(&self) -> Option<(u64, u64, u64)> {
+        match &self.heap {
+            Heap::Mem(_) => None,
+            Heap::Paged(t) => {
+                let stats = t.pool().stats();
+                Some((stats.hits(), stats.misses(), stats.evictions()))
+            }
+        }
+    }
+
+    /// WAL records appended since the last commit-batch fsync — the depth
+    /// of the not-yet-durable tail, bounded by
+    /// [`DurabilityConfig::wal_sync_every`](crate::recovery::DurabilityConfig).
+    /// `None` for non-durable databases. Takes the WAL guard briefly, so
+    /// calling it from a metrics scrape contends with durable DML exactly
+    /// like one more statement would.
+    pub fn wal_depth(&self) -> Option<usize> {
+        self.durability.as_ref().map(|d| d.wal_guard().uncommitted())
+    }
+
     /// Memory report split the way the paper's breakdown figures are.
     pub fn memory_report(&self) -> MemoryReport {
         let mut report = MemoryReport {

@@ -41,6 +41,7 @@ pub mod database;
 pub mod error;
 pub mod executor;
 pub mod index;
+pub mod metrics;
 pub mod plan;
 pub mod query;
 pub mod recovery;
@@ -54,6 +55,7 @@ pub use database::{Database, Heap, MemoryReport};
 pub use error::CoreError;
 pub use executor::{QueryResult, RangePredicate};
 pub use index::SecondaryIndex;
+pub use metrics::{LatencyHistogram, PlanLatencies};
 pub use plan::{AccessPath, PlanKind, QueryPlan};
 pub use query::Query;
 pub use recovery::DurabilityConfig;

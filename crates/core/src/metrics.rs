@@ -1,0 +1,228 @@
+//! Latency histograms for the serving layer's observability surface.
+//!
+//! The serving front end (`hermit-server`) needs per-plan-kind latency
+//! distributions — the p50/p99 numbers every scale claim in the roadmap is
+//! benchmarked against — without a metrics dependency and without taking a
+//! lock on the query hot path. [`LatencyHistogram`] is the whole answer:
+//! fixed log-scaled buckets (powers of two in microseconds) backed by
+//! relaxed atomic counters, so recording is a couple of atomic adds and
+//! reading is a consistent-enough snapshot for a stats dump.
+//!
+//! [`PlanLatencies`] bundles one histogram per [`PlanKind`], matching the
+//! planner's coarse classification: a regression that flips queries from
+//! the Hermit route onto the scan fallback shows up as mass moving between
+//! histograms, not just as a slower aggregate.
+
+use crate::plan::PlanKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of finite buckets: bucket `i` holds samples with
+/// `latency_us < 2^i` (after the previous bucket), covering 1 µs … ~8.4 s.
+/// The last slot is the overflow (+Inf) bucket.
+pub const BUCKETS: usize = 24;
+
+/// A fixed log-scaled latency histogram with atomic counters.
+///
+/// Bucket upper bounds are `2^i` microseconds for `i in 0..BUCKETS`, plus
+/// an overflow bucket. Recording is wait-free (two relaxed `fetch_add`s);
+/// all read-side views are snapshots of concurrently-updated counters.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Upper bound (µs) of finite bucket `i`.
+    #[inline]
+    pub fn bucket_bound_us(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = if us == 0 {
+            0
+        } else {
+            let bits = 64 - us.leading_zeros() as usize; // us < 2^bits
+            bits.min(BUCKETS)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded latencies, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us() as f64 / n as f64
+        }
+    }
+
+    /// Estimated quantile in microseconds: the upper bound of the bucket
+    /// containing the `q`-quantile sample (the conventional conservative
+    /// histogram estimate). 0 when empty; the overflow bucket reports the
+    /// largest finite bound.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound_us(i.min(BUCKETS - 1));
+            }
+        }
+        Self::bucket_bound_us(BUCKETS - 1)
+    }
+
+    /// Snapshot of the cumulative bucket counts, as `(le_us, cumulative)`
+    /// pairs for every *occupied* prefix of the histogram (trailing empty
+    /// buckets are dropped; the overflow bucket appears as `u64::MAX`).
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let last = match counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut acc = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+            acc += c;
+            let bound = if i == BUCKETS { u64::MAX } else { Self::bucket_bound_us(i) };
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// One [`LatencyHistogram`] per [`PlanKind`], indexed by
+/// [`PlanKind::ALL`] order.
+#[derive(Debug, Default)]
+pub struct PlanLatencies {
+    histograms: [LatencyHistogram; PlanKind::ALL.len()],
+}
+
+impl PlanLatencies {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one query latency under its plan kind.
+    pub fn record(&self, kind: PlanKind, latency: Duration) {
+        self.histogram(kind).record(latency);
+    }
+
+    /// The histogram for one plan kind.
+    pub fn histogram(&self, kind: PlanKind) -> &LatencyHistogram {
+        let slot = PlanKind::ALL.iter().position(|k| *k == kind).expect("kind is in ALL");
+        &self.histograms[slot]
+    }
+
+    /// Iterate `(kind, histogram)` in [`PlanKind::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (PlanKind, &LatencyHistogram)> {
+        PlanKind::ALL.iter().copied().zip(self.histograms.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_scaled() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(0)); // bucket 0 (< 1 µs)
+        h.record(Duration::from_micros(1)); // 1 < 2^1
+        h.record(Duration::from_micros(3)); // < 4
+        h.record(Duration::from_micros(1000)); // < 1024
+        h.record(Duration::from_secs(100)); // overflow
+        assert_eq!(h.count(), 5);
+        let cum = h.cumulative();
+        assert_eq!(cum.last().unwrap().0, u64::MAX, "overflow bucket present");
+        assert_eq!(cum.last().unwrap().1, 5, "cumulative reaches the count");
+        // 1000 µs lands in the le=1024 bucket.
+        assert!(cum.iter().any(|&(le, _)| le == 1024));
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(5)); // le=8 bucket
+        }
+        h.record(Duration::from_micros(5_000)); // le=8192 bucket
+        assert_eq!(h.quantile_us(0.5), 8);
+        assert_eq!(h.quantile_us(0.99), 8);
+        assert_eq!(h.quantile_us(1.0), 8192);
+        assert!((h.mean_us() - (99.0 * 5.0 + 5_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert!(h.cumulative().is_empty());
+    }
+
+    #[test]
+    fn plan_latencies_route_by_kind() {
+        let m = PlanLatencies::new();
+        m.record(PlanKind::Hermit, Duration::from_micros(10));
+        m.record(PlanKind::Hermit, Duration::from_micros(12));
+        m.record(PlanKind::Scan, Duration::from_millis(2));
+        assert_eq!(m.histogram(PlanKind::Hermit).count(), 2);
+        assert_eq!(m.histogram(PlanKind::Scan).count(), 1);
+        assert_eq!(m.histogram(PlanKind::Baseline).count(), 0);
+        let kinds: Vec<PlanKind> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, PlanKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(Duration::from_micros(t * 1_000 + i % 100));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.cumulative().last().unwrap().1, 40_000);
+    }
+}

@@ -252,15 +252,32 @@ impl SharedDatabase {
     /// Share of outlier-buffered tuples in a Hermit index on `col`
     /// (buffered / (buffered + modeled)); `None` when `col` carries no
     /// Hermit index. The churn metric the maintenance worker drives down.
+    ///
+    /// Both terms come from the tree itself: the denominator is the sum of
+    /// the leaves' `covered` counters (model-covered *plus* buffered
+    /// tuples), **not** the table's row count — rows with a NULL in the
+    /// target or host column never enter the index, and the heap can hold
+    /// multiple rows per key, so the two denominators diverge under churn.
     pub fn outlier_share(&self, col: hermit_storage::ColumnId) -> Option<f64> {
         match self.inner.index(col)? {
             SecondaryIndex::Hermit { trs, .. } => {
                 let stats = trs.stats();
-                let total = self.inner.len().max(1);
-                Some(stats.outliers as f64 / total as f64)
+                Some(stats.outliers as f64 / stats.covered.max(1) as f64)
             }
             SecondaryIndex::Baseline(_) => None,
         }
+    }
+
+    /// Buffer-pool `(hits, misses, evictions)` of the paged substrate;
+    /// `None` on the in-memory heap. See [`Database::pool_counters`].
+    pub fn pool_counters(&self) -> Option<(u64, u64, u64)> {
+        self.inner.pool_counters()
+    }
+
+    /// Not-yet-durable WAL tail depth; `None` for non-durable databases.
+    /// See [`Database::wal_depth`].
+    pub fn wal_depth(&self) -> Option<usize> {
+        self.inner.wal_depth()
     }
 }
 

@@ -1,0 +1,119 @@
+//! `hermit-cli`: command-line client for `hermit-server`.
+//!
+//! ```text
+//! hermit-cli [--addr HOST:PORT] <command> [args...]
+//!
+//! commands:
+//!   insert <v>...                 insert one row (int, float, or `null` cells)
+//!   delete <pk>                   delete by primary key
+//!   query  <col> <lb> <ub> ...    conjunctive range query (triples repeat)
+//!   point  <col> <v>              single point query
+//!   explain <col> <lb> <ub> ...   EXPLAIN the plan without executing
+//!   stats                         dump the server's metrics report
+//!   checkpoint                    trigger a live checkpoint
+//!   shutdown                      graceful server shutdown
+//! ```
+//!
+//! Rows print one per line, tab-separated. Exit status 0 on success, 1 on
+//! a server-reported or transport error, 2 on a usage error.
+
+use hermit_core::Query;
+use hermit_server::HermitClient;
+use hermit_storage::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hermit-cli [--addr HOST:PORT] <insert|delete|query|point|explain|stats|checkpoint|shutdown> [args...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cell(s: &str) -> Value {
+    if s.eq_ignore_ascii_case("null") {
+        return Value::Null;
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    match s.parse::<f64>() {
+        Ok(f) => Value::Float(f),
+        Err(_) => {
+            eprintln!("hermit-cli: `{s}` is not null, an integer, or a float");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_query(args: &[String]) -> Query {
+    if args.is_empty() || !args.len().is_multiple_of(3) {
+        eprintln!("hermit-cli: query/explain take (col, lb, ub) triples");
+        std::process::exit(2);
+    }
+    let mut q = Query::new();
+    for triple in args.chunks(3) {
+        let col: usize = triple[0].parse().unwrap_or_else(|_| usage());
+        let lb: f64 = triple[1].parse().unwrap_or_else(|_| usage());
+        let ub: f64 = triple[2].parse().unwrap_or_else(|_| usage());
+        q = q.range(col, lb, ub);
+    }
+    q
+}
+
+fn print_rows(rows: &[Vec<Value>]) {
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    println!("({} rows)", rows.len());
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut rest = &argv[..];
+    if rest.first().map(String::as_str) == Some("--addr") {
+        addr = rest.get(1).cloned().unwrap_or_else(|| usage());
+        rest = &rest[2..];
+    }
+    let Some(command) = rest.first() else { usage() };
+    let args = &rest[1..];
+
+    let mut client = match HermitClient::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("hermit-cli: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let outcome = match command.as_str() {
+        "insert" => {
+            if args.is_empty() {
+                usage();
+            }
+            let row: Vec<Value> = args.iter().map(|s| parse_cell(s)).collect();
+            client.insert(row).map(|tid| println!("inserted (tid {tid:#x})"))
+        }
+        "delete" => {
+            let pk: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            client.delete(pk).map(|()| println!("deleted {pk}"))
+        }
+        "query" => client.query(&parse_query(args)).map(|rows| print_rows(&rows)),
+        "point" => {
+            if args.len() != 2 {
+                usage();
+            }
+            let col: usize = args[0].parse().unwrap_or_else(|_| usage());
+            let v: f64 = args[1].parse().unwrap_or_else(|_| usage());
+            client.query(&Query::new().point(col, v)).map(|rows| print_rows(&rows))
+        }
+        "explain" => client.explain(&parse_query(args)).map(|plan| println!("{plan}")),
+        "stats" => client.stats().map(|report| print!("{report}")),
+        "checkpoint" => client.checkpoint().map(|()| println!("checkpoint complete")),
+        "shutdown" => client.shutdown().map(|()| println!("shutdown acknowledged")),
+        _ => usage(),
+    };
+    if let Err(e) = outcome {
+        eprintln!("hermit-cli: {e}");
+        std::process::exit(1);
+    }
+}

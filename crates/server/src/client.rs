@@ -1,0 +1,144 @@
+//! Blocking client for the `hermit_proto` wire protocol.
+//!
+//! One [`HermitClient`] owns one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response — no pipelining), which
+//! is exactly the shape `hermit-cli`, the loopback test suite, and the
+//! bench harness need. Server-reported failures come back as
+//! [`ClientError::Server`] with the typed [`ErrorCode`], protocol damage as
+//! [`ClientError::Proto`].
+
+use crate::proto::{read_frame, send_request, ErrorCode, ProtoError, Request, Response};
+use hermit_core::Query;
+use hermit_storage::Value;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server answered with a typed error.
+    Server {
+        /// Stable error category from the wire.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with a response kind the request cannot produce.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::UnexpectedResponse(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Convenience alias for client results.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One connection to a `hermit-server`.
+pub struct HermitClient {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+impl HermitClient {
+    /// Connect to a serving address.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HermitClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(HermitClient { stream, scratch: Vec::new() })
+    }
+
+    /// Set a read timeout so a hung server cannot park the client forever.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Issue one request and read its response frame.
+    pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        send_request(&mut self.stream, request, &mut self.scratch)?;
+        let payload = read_frame(&mut self.stream)?.ok_or(ProtoError::Truncated)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    fn expect_err(response: Response, what: &'static str) -> ClientError {
+        match response {
+            Response::Error { code, message } => ClientError::Server { code, message },
+            _ => ClientError::UnexpectedResponse(what),
+        }
+    }
+
+    /// Execute a query; rows are projected columns when the query carries a
+    /// `select`, full rows otherwise.
+    pub fn query(&mut self, query: &Query) -> ClientResult<Vec<Vec<Value>>> {
+        match self.call(&Request::Query(query.clone()))? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(Self::expect_err(other, "Rows")),
+        }
+    }
+
+    /// Insert one row; returns the raw tid bits.
+    pub fn insert(&mut self, row: Vec<Value>) -> ClientResult<u64> {
+        match self.call(&Request::Insert(row))? {
+            Response::Inserted { tid } => Ok(tid),
+            other => Err(Self::expect_err(other, "Inserted")),
+        }
+    }
+
+    /// Delete a row by primary key.
+    pub fn delete(&mut self, pk: i64) -> ClientResult<()> {
+        match self.call(&Request::Delete { pk })? {
+            Response::Deleted => Ok(()),
+            other => Err(Self::expect_err(other, "Deleted")),
+        }
+    }
+
+    /// EXPLAIN the query's plan (the engine's stable EXPLAIN text).
+    pub fn explain(&mut self, query: &Query) -> ClientResult<String> {
+        match self.call(&Request::Explain(query.clone()))? {
+            Response::Explain(plan) => Ok(plan),
+            other => Err(Self::expect_err(other, "Explain")),
+        }
+    }
+
+    /// Fetch the server's metrics dump.
+    pub fn stats(&mut self) -> ClientResult<String> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(Self::expect_err(other, "Stats")),
+        }
+    }
+
+    /// Trigger a live checkpoint.
+    pub fn checkpoint(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::expect_err(other, "Ok")),
+        }
+    }
+
+    /// Request graceful server shutdown; the ack arrives before the drain.
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::expect_err(other, "Ok")),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # hermit-server
+//!
+//! The wire-protocol serving front end: everything between a TCP socket
+//! and [`hermit_core::SharedDatabase`].
+//!
+//! PRs 4–5 made the engine concurrently servable and crash-safe, but only
+//! for code that links it. This crate is the difference between a library
+//! and a *system*: a process boundary, an admission-controlled serving
+//! loop, and an exporter for every observability counter the engine keeps.
+//! Three layers, each usable alone:
+//!
+//! * [`proto`] — `hermit_proto`, the length-prefixed CRC-framed binary
+//!   protocol. Pure encode/decode, shared by both sides and the torn-frame
+//!   tests.
+//! * [`server`] — [`HermitServer`]: thread-per-connection serving over
+//!   `std::net::TcpListener`, bounded by `max_connections`, with per-query
+//!   deadlines, per-plan-kind latency histograms, a `Stats` text exporter,
+//!   and graceful shutdown (drain → stop the §4.4 worker → final
+//!   checkpoint).
+//! * [`client`] — [`HermitClient`]: the blocking request/response client
+//!   `hermit-cli` and the bench harness drive.
+//!
+//! The two binaries (`hermit-server`, `hermit-cli`) are thin argv shells
+//! over these layers; see the repository README's "Server & observability"
+//! section for the frame layout and a session transcript.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, ClientResult, HermitClient};
+pub use proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME};
+pub use server::{HermitServer, ServerConfig, ServerMetrics};

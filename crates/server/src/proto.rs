@@ -1,0 +1,565 @@
+//! `hermit_proto`: the length-prefixed, CRC-framed binary protocol spoken
+//! between `hermit-server` and `hermit-cli`.
+//!
+//! Pure encode/decode — no sockets in this module, so both sides (and the
+//! torn-frame test suite) share one implementation. The framing
+//! deliberately mirrors the WAL's ([`hermit_storage::wal`]): a frame is
+//!
+//! ```text
+//! len: u32 LE | crc32: u32 LE (of payload) | payload[len]
+//! ```
+//!
+//! with `len <= MAX_FRAME`. A declared length above [`MAX_FRAME`] is
+//! rejected *before* any allocation (a four-byte header must not provoke a
+//! 4 GiB buffer), and a CRC mismatch poisons the connection — after a
+//! corrupt frame there is no way to resynchronize a byte stream, so the
+//! server sends one typed error and closes.
+//!
+//! # Messages
+//!
+//! | tag  | request                      | tag  | response                   |
+//! |------|------------------------------|------|----------------------------|
+//! | 0x01 | `Query(Query)`               | 0x81 | `Rows(Vec<Vec<Value>>)`    |
+//! | 0x02 | `Insert(Vec<Value>)`         | 0x82 | `Inserted { tid }`         |
+//! | 0x03 | `Delete { pk }`              | 0x83 | `Deleted`                  |
+//! | 0x04 | `Explain(Query)`             | 0x84 | `Explain(String)`          |
+//! | 0x05 | `Checkpoint`                 | 0x85 | `Stats(String)`            |
+//! | 0x06 | `Stats`                      | 0x86 | `Ok`                       |
+//! | 0x07 | `Shutdown`                   | 0x87 | `Error { code, message }`  |
+//!
+//! Cells use the WAL's encoding (`0` NULL, `1` i64, `2` f64; 9 bytes each);
+//! queries serialize their conjuncts, projection, and limit exactly as the
+//! [`hermit_core::Query`] builder holds them.
+
+use hermit_core::{Query, RangePredicate};
+use hermit_storage::recovery::crc32;
+use hermit_storage::Value;
+use std::io::{Read, Write};
+
+/// Maximum frame payload in bytes. Large enough for a ~28 k-row result of
+/// 3-column rows; small enough that a hostile length prefix cannot OOM the
+/// peer.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Typed protocol failure. Everything a malformed peer can provoke lands
+/// here — never a panic.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The stream ended inside a frame (header or payload).
+    Truncated,
+    /// A frame declared a payload longer than [`MAX_FRAME`].
+    Oversized {
+        /// Length the header declared.
+        declared: usize,
+    },
+    /// Payload bytes do not match the frame's CRC.
+    CrcMismatch,
+    /// Structurally invalid payload (unknown tag, bad arity, short body).
+    Malformed(&'static str),
+    /// Transport failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "stream ended mid-frame"),
+            ProtoError::Oversized { declared } => {
+                write!(f, "frame declares {declared} bytes (max {MAX_FRAME})")
+            }
+            ProtoError::CrcMismatch => write!(f, "frame payload fails its CRC"),
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated
+        } else {
+            ProtoError::Io(e)
+        }
+    }
+}
+
+/// Error category carried by [`Response::Error`]; stable across versions
+/// (codes are part of the wire format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request was structurally valid but semantically unserviceable
+    /// (bad arity, unknown column, …).
+    BadRequest = 1,
+    /// The storage engine rejected the statement (duplicate/missing pk, …).
+    Storage = 2,
+    /// Checkpoint requested on a non-durable database.
+    NotDurable = 3,
+    /// The query finished after its deadline; the result was discarded.
+    DeadlineExceeded = 4,
+    /// The server is at `max_connections`; retry later.
+    Capacity = 5,
+    /// The server is draining for shutdown.
+    ShuttingDown = 6,
+    /// The peer sent a frame the server cannot trust (CRC/oversize).
+    Protocol = 7,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::Storage,
+            3 => ErrorCode::NotDurable,
+            4 => ErrorCode::DeadlineExceeded,
+            5 => ErrorCode::Capacity,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a declarative query; respond with [`Response::Rows`].
+    Query(Query),
+    /// Insert one row; respond with [`Response::Inserted`].
+    Insert(Vec<Value>),
+    /// Delete by primary key; respond with [`Response::Deleted`].
+    Delete {
+        /// Primary key of the row to delete.
+        pk: i64,
+    },
+    /// EXPLAIN the query's plan without executing it.
+    Explain(Query),
+    /// Take a live checkpoint (durable databases only).
+    Checkpoint,
+    /// Dump the server's metrics as a stable text report.
+    Stats,
+    /// Gracefully shut the server down (drain, stop worker, checkpoint).
+    Shutdown,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Materialized qualifying rows (projected columns when the query
+    /// carried a `select`, full rows otherwise).
+    Rows(Vec<Vec<Value>>),
+    /// Insert acknowledged with the new row's tuple identifier.
+    Inserted {
+        /// Raw tid bits (scheme-dependent, see `hermit_storage::Tid`).
+        tid: u64,
+    },
+    /// Delete acknowledged.
+    Deleted,
+    /// Rendered EXPLAIN plan.
+    Explain(String),
+    /// Rendered metrics report.
+    Stats(String),
+    /// Generic acknowledgement (checkpoint, shutdown).
+    Ok,
+    /// Typed failure; the connection stays usable unless the code is
+    /// [`ErrorCode::Protocol`].
+    Error {
+        /// Stable error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// payload primitives
+
+fn put_cell(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => {
+            out.push(0);
+            out.extend_from_slice(&[0u8; 8]);
+        }
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(2);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Malformed("short payload"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn cell(&mut self) -> Result<Value, ProtoError> {
+        let tag = self.u8()?;
+        let body: [u8; 8] = self.take(8)?.try_into().unwrap();
+        match tag {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(i64::from_le_bytes(body))),
+            2 => Ok(Value::Float(f64::from_le_bytes(body))),
+            _ => Err(ProtoError::Malformed("bad cell tag")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Malformed("invalid utf-8"))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes after message"))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_row(out: &mut Vec<u8>, row: &[Value]) {
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        put_cell(out, v);
+    }
+}
+
+fn get_row(c: &mut Cursor<'_>) -> Result<Vec<Value>, ProtoError> {
+    let width = c.u16()? as usize;
+    let mut row = Vec::with_capacity(width);
+    for _ in 0..width {
+        row.push(c.cell()?);
+    }
+    Ok(row)
+}
+
+fn put_query(out: &mut Vec<u8>, q: &Query) {
+    out.extend_from_slice(&(q.conjuncts().len() as u16).to_le_bytes());
+    for p in q.conjuncts() {
+        out.extend_from_slice(&(p.column as u32).to_le_bytes());
+        out.extend_from_slice(&p.lb.to_le_bytes());
+        out.extend_from_slice(&p.ub.to_le_bytes());
+    }
+    match q.projection() {
+        Some(cols) => {
+            out.push(1);
+            out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+            for &c in cols {
+                out.extend_from_slice(&(c as u32).to_le_bytes());
+            }
+        }
+        None => out.push(0),
+    }
+    match q.limit_rows() {
+        Some(n) => {
+            out.push(1);
+            out.extend_from_slice(&(n as u64).to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_query(c: &mut Cursor<'_>) -> Result<Query, ProtoError> {
+    let n = c.u16()? as usize;
+    let mut q = Query::new();
+    for _ in 0..n {
+        let column = c.u32()? as usize;
+        let lb = c.f64()?;
+        let ub = c.f64()?;
+        q = q.and(RangePredicate::range(column, lb, ub));
+    }
+    match c.u8()? {
+        0 => {}
+        1 => {
+            let k = c.u16()? as usize;
+            let mut cols = Vec::with_capacity(k);
+            for _ in 0..k {
+                cols.push(c.u32()? as usize);
+            }
+            q = q.select(cols);
+        }
+        _ => return Err(ProtoError::Malformed("bad projection flag")),
+    }
+    match c.u8()? {
+        0 => {}
+        1 => q = q.limit(c.u64()? as usize),
+        _ => return Err(ProtoError::Malformed("bad limit flag")),
+    }
+    Ok(q)
+}
+
+// ---------------------------------------------------------------------------
+// message encode/decode
+
+impl Request {
+    /// Serialize into a payload (no frame header).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            Request::Query(q) => {
+                out.push(0x01);
+                put_query(out, q);
+            }
+            Request::Insert(row) => {
+                out.push(0x02);
+                put_row(out, row);
+            }
+            Request::Delete { pk } => {
+                out.push(0x03);
+                out.extend_from_slice(&pk.to_le_bytes());
+            }
+            Request::Explain(q) => {
+                out.push(0x04);
+                put_query(out, q);
+            }
+            Request::Checkpoint => out.push(0x05),
+            Request::Stats => out.push(0x06),
+            Request::Shutdown => out.push(0x07),
+        }
+    }
+
+    /// Parse a payload. Every malformation is a typed [`ProtoError`].
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            0x01 => Request::Query(get_query(&mut c)?),
+            0x02 => Request::Insert(get_row(&mut c)?),
+            0x03 => Request::Delete { pk: c.i64()? },
+            0x04 => Request::Explain(get_query(&mut c)?),
+            0x05 => Request::Checkpoint,
+            0x06 => Request::Stats,
+            0x07 => Request::Shutdown,
+            _ => return Err(ProtoError::Malformed("unknown request tag")),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize into a payload (no frame header).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            Response::Rows(rows) => {
+                out.push(0x81);
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    put_row(out, row);
+                }
+            }
+            Response::Inserted { tid } => {
+                out.push(0x82);
+                out.extend_from_slice(&tid.to_le_bytes());
+            }
+            Response::Deleted => out.push(0x83),
+            Response::Explain(s) => {
+                out.push(0x84);
+                put_string(out, s);
+            }
+            Response::Stats(s) => {
+                out.push(0x85);
+                put_string(out, s);
+            }
+            Response::Ok => out.push(0x86),
+            Response::Error { code, message } => {
+                out.push(0x87);
+                out.extend_from_slice(&(*code as u16).to_le_bytes());
+                put_string(out, message);
+            }
+        }
+    }
+
+    /// Parse a payload. Every malformation is a typed [`ProtoError`].
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            0x81 => {
+                let n = c.u32()? as usize;
+                // Guard the pre-allocation against a hostile count: each row
+                // costs at least 2 bytes on the wire.
+                if n > payload.len() / 2 {
+                    return Err(ProtoError::Malformed("row count exceeds payload"));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(get_row(&mut c)?);
+                }
+                Response::Rows(rows)
+            }
+            0x82 => Response::Inserted { tid: c.u64()? },
+            0x83 => Response::Deleted,
+            0x84 => Response::Explain(c.string()?),
+            0x85 => Response::Stats(c.string()?),
+            0x86 => Response::Ok,
+            0x87 => {
+                let raw = c.u16()?;
+                let code =
+                    ErrorCode::from_u16(raw).ok_or(ProtoError::Malformed("unknown error code"))?;
+                Response::Error { code, message: c.string()? }
+            }
+            _ => return Err(ProtoError::Malformed("unknown response tag")),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// framing
+
+/// Wrap an already-encoded payload in a frame (length + CRC) and write it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    debug_assert!(payload.len() <= MAX_FRAME, "encoder produced an oversized frame");
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame and return its verified payload.
+///
+/// * `Ok(Some(payload))` — a complete, CRC-valid frame.
+/// * `Ok(None)` — the peer closed the stream *at a frame boundary* (the
+///   clean-disconnect case; a reader loop exits silently).
+/// * `Err(Truncated)` — the stream ended inside a frame (mid-frame
+///   disconnect).
+/// * `Err(Oversized | CrcMismatch | Io)` — the stream can no longer be
+///   trusted; the caller must close it.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut head = [0u8; 8];
+    // Distinguish "closed before any byte" (clean EOF) from "closed inside
+    // the header" (truncation): read the first byte separately.
+    match r.read(&mut head[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut head[1..])?;
+    let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized { declared: len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(ProtoError::CrcMismatch);
+    }
+    Ok(Some(payload))
+}
+
+/// Encode + frame a request into `scratch` and write it.
+pub fn send_request(
+    w: &mut impl Write,
+    req: &Request,
+    scratch: &mut Vec<u8>,
+) -> Result<(), ProtoError> {
+    req.encode(scratch);
+    write_frame(w, scratch)
+}
+
+/// Encode + frame a response into `scratch` and write it.
+pub fn send_response(
+    w: &mut impl Write,
+    resp: &Response,
+    scratch: &mut Vec<u8>,
+) -> Result<(), ProtoError> {
+    resp.encode(scratch);
+    write_frame(w, scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let req = Request::Query(Query::new().range(2, 1.0, 9.0).select([0, 2]).limit(5));
+        let mut buf = Vec::new();
+        let mut wire = Vec::new();
+        send_request(&mut wire, &req, &mut buf).unwrap();
+        let payload = read_frame(&mut wire.as_slice()).unwrap().expect("one frame");
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+        // And a clean EOF after it.
+        let mut rest = &wire[wire.len()..];
+        assert!(read_frame(&mut rest).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        match read_frame(&mut wire.as_slice()) {
+            Err(ProtoError::Oversized { declared }) => assert_eq!(declared, u32::MAX as usize),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_is_typed() {
+        let mut buf = Vec::new();
+        let mut wire = Vec::new();
+        send_request(&mut wire, &Request::Stats, &mut buf).unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        assert!(matches!(read_frame(&mut wire.as_slice()), Err(ProtoError::CrcMismatch)));
+    }
+}

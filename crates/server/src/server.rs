@@ -1,0 +1,504 @@
+//! The serving loop: a thread-per-connection TCP front end over
+//! [`SharedDatabase`].
+//!
+//! This is the paper's deployment story given a network surface. The
+//! architecture of §3 puts Hermit inside an RDBMS that serves concurrent
+//! traffic; [`hermit_core::shared`] made the engine servable from many
+//! threads, and this module makes it reachable from other *processes*:
+//!
+//! * an accept loop on a [`std::net::TcpListener`], admission-bounded by
+//!   [`ServerConfig::max_connections`] (a connection over the limit gets a
+//!   typed [`ErrorCode::Capacity`] response, never a silent hang);
+//! * one thread per connection running request frames through the engine —
+//!   queries via the cost-based planner (plan once, execute, record the
+//!   latency under the plan's [`PlanKind`](hermit_core::PlanKind) histogram), DML via the same
+//!   concurrent write path every in-process thread uses;
+//! * a per-query deadline ([`ServerConfig::query_deadline`]): the engine
+//!   has no mid-plan cancellation points, so the deadline is enforced at
+//!   completion — an over-deadline result is discarded and reported as
+//!   [`ErrorCode::DeadlineExceeded`], bounding what a client may *observe*
+//!   rather than what the server may *spend* (the honest contract for a
+//!   cooperative executor);
+//! * graceful shutdown (a [`Request::Shutdown`] frame or
+//!   [`HermitServer::stop`]): stop admitting, drain in-flight connections
+//!   (late requests get [`ErrorCode::ShuttingDown`]), force-close laggards
+//!   after [`ServerConfig::drain_timeout`], stop the §4.4
+//!   [`MaintenanceWorker`], and take a final checkpoint on durable
+//!   databases so a clean stop never needs WAL replay.
+//!
+//! The `Stats` request renders every observability counter the engine
+//! keeps — buffer-pool hits/misses, reorganization passes / queue depth /
+//! outlier share, WAL tail depth, worker sweeps, admission counters, and
+//! the per-plan-kind latency histograms — as a stable `name value` text
+//! dump (one metric per line, Prometheus-style labels), so a scrape is one
+//! round-trip with no extra dependency.
+
+use crate::proto::{
+    read_frame, send_response, ErrorCode, ProtoError, Request, Response, MAX_FRAME,
+};
+use hermit_core::shared::{MaintenanceWorker, SharedDatabase};
+use hermit_core::{CoreError, PlanLatencies, SecondaryIndex};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs of the serving front end.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Admission bound: connections at or above this are rejected with
+    /// [`ErrorCode::Capacity`] after one response frame.
+    pub max_connections: usize,
+    /// Per-query completion deadline; `None` disables the check. Enforced
+    /// at completion (see the module docs), and also used as the socket
+    /// read timeout granularity during shutdown drain.
+    pub query_deadline: Option<Duration>,
+    /// How long shutdown waits for in-flight connections to finish before
+    /// force-closing their sockets.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            query_deadline: Some(Duration::from_secs(5)),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Cumulative serving-layer counters (engine counters live on the engine;
+/// these are the ones only the front end can know).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted and served.
+    pub connections_accepted: AtomicU64,
+    /// Connections rejected by the admission bound.
+    pub connections_rejected: AtomicU64,
+    /// Connections currently being served.
+    pub connections_active: AtomicU64,
+    /// Request frames successfully decoded and dispatched.
+    pub requests: AtomicU64,
+    /// Requests answered with [`Response::Error`] (any code).
+    pub errors: AtomicU64,
+    /// Queries discarded for finishing past the deadline.
+    pub deadline_exceeded: AtomicU64,
+    /// Per-plan-kind query latency histograms.
+    pub query_latency: PlanLatencies,
+}
+
+struct Inner {
+    db: SharedDatabase,
+    config: ServerConfig,
+    metrics: ServerMetrics,
+    stop: AtomicBool,
+    /// Live connection sockets by id, so shutdown can force-close readers
+    /// blocked in `read_frame`.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    worker: Mutex<Option<MaintenanceWorker>>,
+}
+
+/// A running server: accept thread + per-connection threads.
+///
+/// Constructed with [`start`](Self::start); lives until a client sends
+/// [`Request::Shutdown`] or the owner calls [`stop`](Self::stop) /
+/// [`wait`](Self::wait). Dropping without either also shuts down.
+pub struct HermitServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl HermitServer {
+    /// Bind `addr` (use port 0 for an ephemeral port; see
+    /// [`local_addr`](Self::local_addr)) and start serving `db`. The
+    /// maintenance worker, when supplied, is owned by the server and
+    /// stopped as part of graceful shutdown.
+    pub fn start(
+        db: SharedDatabase,
+        worker: Option<MaintenanceWorker>,
+        config: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<HermitServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Poll accept so the loop can observe the stop flag without needing
+        // a wakeup connection.
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            db,
+            config,
+            metrics: ServerMetrics::default(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            worker: Mutex::new(worker),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("hermit-accept".into())
+            .spawn(move || accept_loop(accept_inner, listener))
+            .expect("spawn accept thread");
+        Ok(HermitServer { inner, addr: local, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving-layer counters (live; shared with the threads).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.inner.metrics
+    }
+
+    /// The shared database handle the server serves.
+    pub fn db(&self) -> &SharedDatabase {
+        &self.inner.db
+    }
+
+    /// True once shutdown has been requested (by a client or the owner).
+    pub fn is_stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::Acquire)
+    }
+
+    /// Request graceful shutdown and block until the drain (connections,
+    /// worker, final checkpoint) completes.
+    pub fn stop(mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.join_accept();
+    }
+
+    /// Block until a client-initiated [`Request::Shutdown`] completes the
+    /// drain (the server binary's main thread parks here).
+    pub fn wait(mut self) {
+        self.join_accept();
+    }
+
+    fn join_accept(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HermitServer {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.join_accept();
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    while !inner.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(&inner, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    drain(&inner);
+}
+
+fn admit(inner: &Arc<Inner>, stream: TcpStream) {
+    let metrics = &inner.metrics;
+    let active = metrics.connections_active.load(Ordering::Acquire);
+    if active >= inner.config.max_connections as u64 {
+        metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+        // One typed response, then close: the client learns *why* instead
+        // of seeing a bare RST.
+        let mut scratch = Vec::new();
+        let mut w = BufWriter::new(&stream);
+        let _ = send_response(
+            &mut w,
+            &Response::Error {
+                code: ErrorCode::Capacity,
+                message: format!("server at max_connections={}", inner.config.max_connections),
+            },
+            &mut scratch,
+        );
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+    let id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        inner.conns.lock().insert(id, clone);
+    }
+    let conn_inner = Arc::clone(inner);
+    let _ = std::thread::Builder::new().name(format!("hermit-conn-{id}")).spawn(move || {
+        serve_connection(&conn_inner, &stream);
+        conn_inner.conns.lock().remove(&id);
+        conn_inner.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+    });
+}
+
+/// One connection's request loop. Returns when the peer disconnects, sends
+/// an untrustworthy frame, or the server drains.
+fn serve_connection(inner: &Arc<Inner>, stream: &TcpStream) {
+    // Blocking reads on the connection socket (the listener's nonblocking
+    // flag is inherited on some platforms — undo it).
+    let _ = stream.set_nonblocking(false);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut scratch = Vec::new();
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean disconnect at a frame boundary.
+            Ok(None) => return,
+            // Mid-frame disconnect: nothing was applied for the torn
+            // request (decode never ran), nothing to answer — close.
+            Err(ProtoError::Truncated) => return,
+            // The stream can't be resynchronized: answer once, then close.
+            Err(e @ (ProtoError::Oversized { .. } | ProtoError::CrcMismatch)) => {
+                inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = send_response(
+                    &mut writer,
+                    &Response::Error { code: ErrorCode::Protocol, message: e.to_string() },
+                    &mut scratch,
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(ProtoError::Malformed(_)) | Err(ProtoError::Io(_)) => return,
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing was valid (length + CRC), so the stream is still
+                // in sync: answer the bad message and keep serving.
+                inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error { code: ErrorCode::BadRequest, message: e.to_string() };
+                if send_response(&mut writer, &resp, &mut scratch).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        if inner.stop.load(Ordering::Acquire) && request != Request::Shutdown {
+            inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining".into(),
+            };
+            let _ = send_response(&mut writer, &resp, &mut scratch);
+            return;
+        }
+        let shutdown = request == Request::Shutdown;
+        let response = handle_request(inner, request);
+        if matches!(response, Response::Error { .. }) {
+            inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if send_response(&mut writer, &response, &mut scratch).is_err() {
+            return;
+        }
+        if shutdown {
+            // Raise the flag after the ack is on the wire; the accept loop
+            // notices within its poll interval and runs the drain.
+            inner.stop.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+fn handle_request(inner: &Arc<Inner>, request: Request) -> Response {
+    let db = &inner.db;
+    match request {
+        Request::Query(query) => {
+            let plan = db.db().plan(&query);
+            let kind = plan.kind();
+            let t0 = Instant::now();
+            let result = db.db().execute_plan(&plan);
+            let elapsed = t0.elapsed();
+            inner.metrics.query_latency.record(kind, elapsed);
+            if let Some(deadline) = inner.config.query_deadline {
+                if elapsed > deadline {
+                    inner.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    return Response::Error {
+                        code: ErrorCode::DeadlineExceeded,
+                        message: format!(
+                            "query finished in {:?}, past the {:?} deadline; result discarded",
+                            elapsed, deadline
+                        ),
+                    };
+                }
+            }
+            // Materialize: the projection when the query carried one, full
+            // rows otherwise. A row deleted between validation and fetch is
+            // skipped, exactly like any other dead candidate.
+            let rows: Vec<Vec<hermit_storage::Value>> = match result.projected {
+                Some(projected) => projected,
+                None => {
+                    result.rows.iter().filter_map(|&loc| db.db().heap().get(loc).ok()).collect()
+                }
+            };
+            if rows.len() > max_rows_per_response() {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!(
+                        "result of {} rows exceeds the per-response cap of {}; add a limit \
+                         or a projection",
+                        rows.len(),
+                        max_rows_per_response()
+                    ),
+                };
+            }
+            Response::Rows(rows)
+        }
+        Request::Insert(row) => match db.insert(&row) {
+            Ok(tid) => Response::Inserted { tid: tid.0 },
+            Err(e) => Response::Error { code: ErrorCode::Storage, message: e.to_string() },
+        },
+        Request::Delete { pk } => match db.delete_by_pk(pk) {
+            Ok(()) => Response::Deleted,
+            Err(e) => Response::Error { code: ErrorCode::Storage, message: e.to_string() },
+        },
+        Request::Explain(query) => Response::Explain(db.db().plan(&query).to_string()),
+        Request::Checkpoint => match db.checkpoint() {
+            Ok(()) => Response::Ok,
+            Err(e @ CoreError::NotDurable { .. }) => {
+                Response::Error { code: ErrorCode::NotDurable, message: e.to_string() }
+            }
+            Err(e) => Response::Error { code: ErrorCode::Storage, message: e.to_string() },
+        },
+        Request::Stats => Response::Stats(render_stats(inner)),
+        Request::Shutdown => Response::Ok,
+    }
+}
+
+/// Rows a single `Rows` response may carry, derived from the frame cap
+/// (3 bytes of row header + 9 per cell; budget for one wide-ish row shape).
+fn max_rows_per_response() -> usize {
+    // Conservative: assume rows up to 16 cells (147 wire bytes each).
+    (MAX_FRAME - 16) / (2 + 16 * 9)
+}
+
+/// Render every engine + serving counter as a stable text report: one
+/// `name value` per line, Prometheus-style `{label="..."}` selectors for
+/// per-column and per-plan metrics. Asserted by the test suite — treat the
+/// line format as an API.
+fn render_stats(inner: &Arc<Inner>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(1024);
+    let m = &inner.metrics;
+    let db = inner.db.db();
+
+    let _ =
+        writeln!(out, "hermit_connections_active {}", m.connections_active.load(Ordering::Relaxed));
+    let _ = writeln!(
+        out,
+        "hermit_connections_accepted {}",
+        m.connections_accepted.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        out,
+        "hermit_connections_rejected {}",
+        m.connections_rejected.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(out, "hermit_requests_total {}", m.requests.load(Ordering::Relaxed));
+    let _ = writeln!(out, "hermit_request_errors {}", m.errors.load(Ordering::Relaxed));
+    let _ = writeln!(
+        out,
+        "hermit_query_deadline_exceeded {}",
+        m.deadline_exceeded.load(Ordering::Relaxed)
+    );
+
+    let _ = writeln!(out, "hermit_rows {}", db.len());
+    if let Some((hits, misses, evictions)) = db.pool_counters() {
+        let _ = writeln!(out, "hermit_pool_hits {hits}");
+        let _ = writeln!(out, "hermit_pool_misses {misses}");
+        let _ = writeln!(out, "hermit_pool_evictions {evictions}");
+        let total = hits + misses;
+        let rate = if total == 0 { 1.0 } else { hits as f64 / total as f64 };
+        let _ = writeln!(out, "hermit_pool_hit_rate {rate:.6}");
+    }
+    if let Some(depth) = db.wal_depth() {
+        let _ = writeln!(out, "hermit_wal_uncommitted {depth}");
+    }
+
+    let _ = writeln!(out, "hermit_reorg_passes {}", inner.db.reorg_passes());
+    let _ = writeln!(out, "hermit_reorg_queue_depth {}", inner.db.reorg_queue_len());
+    for col in db.indexed_columns() {
+        if matches!(db.index(col), Some(SecondaryIndex::Hermit { .. })) {
+            if let Some(share) = inner.db.outlier_share(col) {
+                let _ = writeln!(out, "hermit_outlier_share{{column=\"{col}\"}} {share:.6}");
+            }
+        }
+    }
+    if let Some(worker) = inner.worker.lock().as_ref() {
+        let stats = worker.stats();
+        let _ = writeln!(out, "hermit_worker_sweeps {}", stats.sweeps.load(Ordering::Relaxed));
+        let _ =
+            writeln!(out, "hermit_worker_candidates {}", stats.candidates.load(Ordering::Relaxed));
+    }
+
+    for (kind, hist) in m.query_latency.iter() {
+        let plan = kind.key();
+        let _ = writeln!(out, "hermit_query_count{{plan=\"{plan}\"}} {}", hist.count());
+        if hist.count() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "hermit_query_latency_us{{plan=\"{plan}\",quantile=\"0.5\"}} {}",
+            hist.quantile_us(0.5)
+        );
+        let _ = writeln!(
+            out,
+            "hermit_query_latency_us{{plan=\"{plan}\",quantile=\"0.99\"}} {}",
+            hist.quantile_us(0.99)
+        );
+        let _ =
+            writeln!(out, "hermit_query_latency_us_mean{{plan=\"{plan}\"}} {:.1}", hist.mean_us());
+        for (le, cum) in hist.cumulative() {
+            let le = if le == u64::MAX { "+Inf".to_string() } else { le.to_string() };
+            let _ =
+                writeln!(out, "hermit_query_latency_bucket{{plan=\"{plan}\",le=\"{le}\"}} {cum}");
+        }
+    }
+    out
+}
+
+/// Stop admitting, drain, force-close laggards, stop the worker, and take
+/// the final checkpoint. Runs on the accept thread after its loop exits.
+fn drain(inner: &Arc<Inner>) {
+    let deadline = Instant::now() + inner.config.drain_timeout;
+    while inner.metrics.connections_active.load(Ordering::Acquire) > 0 && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Force-close whatever is still blocked in a read.
+    for (_, stream) in inner.conns.lock().drain() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    let force_deadline = Instant::now() + Duration::from_secs(1);
+    while inner.metrics.connections_active.load(Ordering::Acquire) > 0
+        && Instant::now() < force_deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if let Some(worker) = inner.worker.lock().take() {
+        worker.stop();
+    }
+    // A clean stop leaves nothing for WAL replay. In-memory databases have
+    // nothing to checkpoint; every other failure is already recorded in the
+    // WAL and survives through ordinary recovery, so best-effort is right.
+    match inner.db.checkpoint() {
+        Ok(()) | Err(CoreError::NotDurable { .. }) => {}
+        Err(e) => eprintln!("hermit-server: final checkpoint failed: {e}"),
+    }
+}

@@ -308,6 +308,11 @@ pub struct TrsTreeStats {
     pub height: usize,
     /// Total buffered outliers across leaves.
     pub outliers: usize,
+    /// Total tuples the tree accounts for across leaves — model-covered
+    /// *plus* buffered outliers (each leaf's `covered` counter, which
+    /// inserts increment and deletes decrement). The denominator of the
+    /// outlier-share ratio `outliers / covered`.
+    pub covered: usize,
     /// Total heap bytes.
     pub memory_bytes: usize,
 }
@@ -397,6 +402,7 @@ impl TrsTree {
                 NodeKind::Leaf(leaf) => {
                     s.leaves += 1;
                     s.outliers += leaf.outliers.len();
+                    s.covered += leaf.covered;
                 }
             }
         }

@@ -43,19 +43,35 @@ pub struct ReplacementSpec {
     range: crate::node::ValueRange,
     sub_params: crate::TrsParams,
     buffer_kind: crate::node::OutlierBufferKind,
+    /// The node covers the tree's lower/upper domain boundary. An edge
+    /// node is where `traverse` clamps out-of-domain keys, so its buffers
+    /// may hold tuples *outside* `range` — the rebuild scan must look past
+    /// the boundary or the graft silently drops them (permanent false
+    /// negatives; every tuple inserted beyond the built domain would
+    /// vanish from the index on the first reorganization of that edge).
+    at_lower_edge: bool,
+    at_upper_edge: bool,
 }
 
 impl ReplacementSpec {
     /// Scan the affected range from `source` and build the replacement
     /// subtree. No latch is required; this is the expensive part.
+    ///
+    /// For an edge node the scan is open-ended on the boundary side(s)
+    /// and the replacement's range widens to hug the data actually found,
+    /// so out-of-domain tuples become modeled (or properly buffered)
+    /// members of the new subtree instead of being lost.
     pub fn build(&self, source: &dyn PairSource) -> TrsTree {
-        let pairs = source.scan_range(self.range.lb, self.range.ub);
-        TrsTree::build_with_buffer(
-            self.sub_params,
-            self.buffer_kind,
-            (self.range.lb, self.range.ub),
-            pairs,
-        )
+        let scan_lb = if self.at_lower_edge { f64::NEG_INFINITY } else { self.range.lb };
+        let scan_ub = if self.at_upper_edge { f64::INFINITY } else { self.range.ub };
+        let pairs = source.scan_range(scan_lb, scan_ub);
+        let mut lb = self.range.lb;
+        let mut ub = self.range.ub;
+        for (m, _, _) in &pairs {
+            lb = lb.min(*m);
+            ub = ub.max(*m);
+        }
+        TrsTree::build_with_buffer(self.sub_params, self.buffer_kind, (lb, ub), pairs)
     }
 
     /// The range the replacement was built for (install-time validity
@@ -73,10 +89,18 @@ impl TrsTree {
     /// it may grow up to `max_height - depth + 1` levels below itself.
     pub fn replacement_spec(&self, node: NodeId) -> ReplacementSpec {
         let range = self.node(node).range;
+        let root_range = self.node(self.root).range;
         let depth = self.depth_of(node);
         let mut sub_params = self.params;
         sub_params.max_height = (self.params.max_height + 1).saturating_sub(depth).max(1);
-        ReplacementSpec { node, range, sub_params, buffer_kind: self.buffer_kind }
+        ReplacementSpec {
+            node,
+            range,
+            sub_params,
+            buffer_kind: self.buffer_kind,
+            at_lower_edge: range.lb <= root_range.lb,
+            at_upper_edge: range.ub >= root_range.ub,
+        }
     }
 
     /// Install a replacement subtree into `node`'s slot (the brief
@@ -185,10 +209,9 @@ impl TrsTree {
     /// reorganizes first-level subtrees; rebuilding from the root is the
     /// limit case and also compacts the arena).
     pub fn rebuild(&mut self, source: &dyn PairSource) {
-        let range = self.node(self.root).range;
-        let pairs = source.scan_range(range.lb, range.ub);
-        let fresh =
-            TrsTree::build_with_buffer(self.params, self.buffer_kind, (range.lb, range.ub), pairs);
+        // The root is both domain edges at once, so the spec's open-ended
+        // scan also re-domains the tree over whatever the table now holds.
+        let fresh = self.replacement_spec(self.root).build(source);
         self.arena = fresh.arena;
         self.root = fresh.root;
         self.reorg_queue.clear();
@@ -404,6 +427,45 @@ mod tests {
         tree.check_invariants().unwrap();
         let s = tree.stats();
         assert_eq!(tree.arena.len(), s.leaves + s.internals);
+    }
+
+    #[test]
+    fn edge_reorg_keeps_out_of_domain_tuples() {
+        // Regression: tuples inserted beyond the built domain clamp into
+        // an edge leaf's buffer. Reorganizing that leaf used to scan only
+        // its recorded range, so the rebuilt subtree dropped every
+        // out-of-domain tuple — they became permanently unreachable.
+        let mut pairs: Vec<(f64, f64, Tid)> =
+            (0..1_000).map(|i| (i as f64, 2.0 * i as f64, Tid(i as u64))).collect();
+        let mut tree = TrsTree::build(TrsParams::default(), (0.0, 999.0), pairs.clone());
+        // Grow the domain upward (and a little downward) past the edges.
+        for i in 0..2_000i64 {
+            let m = 100_000.0 + i as f64;
+            tree.insert(m, 2.0 * m, Tid(10_000 + i as u64));
+            pairs.push((m, 2.0 * m, Tid(10_000 + i as u64)));
+        }
+        tree.insert(-50.0, -100.0, Tid(99_999));
+        pairs.push((-50.0, -100.0, Tid(99_999)));
+        assert!(tree.reorg_queue_len() > 0, "the flood must queue a split");
+
+        let source = VecPairSource(pairs);
+        tree.reorganize_batch(&source, 16);
+        tree.compact();
+        tree.check_invariants().unwrap();
+
+        // Every out-of-domain tuple is still reachable: either a model
+        // band over its new home covers the true host value, or the tuple
+        // rode along as a buffered outlier.
+        for probe in [(100_000.0, Tid(10_000)), (101_999.0, Tid(11_999)), (-50.0, Tid(99_999))] {
+            let r = tree.lookup_point(probe.0);
+            let truth = if probe.0 < 0.0 { -100.0 } else { 2.0 * probe.0 };
+            let covered = r.ranges.iter().any(|(lo, hi)| truth >= *lo && truth <= *hi)
+                || r.tids.contains(&probe.1);
+            assert!(covered, "tuple at {} lost by edge reorganization", probe.0);
+        }
+        // And the in-domain originals are intact too.
+        let r = tree.lookup_point(500.0);
+        assert!(r.ranges.iter().any(|(lo, hi)| 1_000.0 >= *lo && 1_000.0 <= *hi));
     }
 
     #[test]

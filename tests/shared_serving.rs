@@ -222,6 +222,62 @@ fn stress_paged_physical() {
     run_stress(Substrate::Paged, TidScheme::Physical);
 }
 
+/// Regression: `SharedDatabase::outlier_share` is documented as *buffered
+/// outliers over the tuples the index accounts for* (model-covered +
+/// buffered). It used to divide by the table's total row count instead,
+/// which silently deflates the ratio whenever the table holds rows the
+/// index never saw — e.g. NULL target cells — and that in turn starves
+/// the maintenance scheduling built on top of it.
+#[test]
+fn outlier_share_denominator_is_index_covered_not_table_len() {
+    let nullable_schema = Schema::new(vec![
+        ColumnDef::int("pk"),
+        ColumnDef::float("host"),
+        ColumnDef::float_null("target"),
+    ]);
+    let mut db = Database::new(nullable_schema, 0, TidScheme::Physical);
+    // 800 perfectly on-model rows: host = 2·target.
+    for pk in 0..800i64 {
+        let m = pk as f64;
+        db.insert(&[Value::Int(pk), Value::Float(2.0 * m), Value::Float(m)]).unwrap();
+    }
+    db.create_baseline_index(1, true).unwrap();
+    db.create_hermit_index(2, 1).unwrap();
+    let shared = SharedDatabase::new(db);
+    assert_eq!(shared.outlier_share(2), Some(0.0), "linear build keeps no outliers");
+
+    // 200 buffered outliers: host far off the model.
+    for i in 0..200i64 {
+        let m = (i % 800) as f64;
+        shared.insert(&[Value::Int(10_000 + i), Value::Float(-1.0e9), Value::Float(m)]).unwrap();
+    }
+    // 500 rows the index never sees (NULL target): table rows, not index
+    // tuples — they must not dilute the denominator.
+    for i in 0..500i64 {
+        shared.insert(&[Value::Int(20_000 + i), Value::Float(1.0), Value::Null]).unwrap();
+    }
+    assert_eq!(shared.db().len(), 1_500);
+    let share = shared.outlier_share(2).unwrap();
+    let want = 200.0 / 1_000.0; // outliers / (modeled + buffered)
+    assert!(
+        (share - want).abs() < 1e-9,
+        "share must be {want} (not 200/1500 = {:.4}), got {share}",
+        200.0 / 1_500.0
+    );
+
+    // Deleting buffered rows shrinks both sides of the ratio.
+    for pk in 10_000..10_100i64 {
+        shared.delete_by_pk(pk).unwrap();
+    }
+    let share = shared.outlier_share(2).unwrap();
+    let want = 100.0 / 900.0;
+    assert!((share - want).abs() < 1e-9, "after deletes share must be {want}, got {share}");
+
+    // Unindexed / baseline columns still report nothing.
+    assert_eq!(shared.outlier_share(1), None);
+    assert_eq!(shared.outlier_share(0), None);
+}
+
 /// Sustained outlier-heavy churn: with the worker running, outlier share
 /// must end up strictly below an identical run without the worker, and
 /// background passes must actually have happened.
