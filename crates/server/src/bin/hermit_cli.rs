@@ -1,7 +1,7 @@
 //! `hermit-cli`: command-line client for `hermit-server`.
 //!
 //! ```text
-//! hermit-cli [--addr HOST:PORT] <command> [args...]
+//! hermit-cli [--addr HOST:PORT] [--timeout-ms N] [--retries N] <command> [args...]
 //!
 //! commands:
 //!   insert <v>...                 insert one row (int, float, or `null` cells)
@@ -14,16 +14,23 @@
 //!   shutdown                      graceful server shutdown
 //! ```
 //!
+//! `--timeout-ms` bounds connect / read / write syscalls (default 10000);
+//! `--retries` reissues *idempotent* commands (query / point / explain /
+//! stats) after transient failures with jittered exponential backoff
+//! (default 2; mutating commands are never retried).
+//!
 //! Rows print one per line, tab-separated. Exit status 0 on success, 1 on
 //! a server-reported or transport error, 2 on a usage error.
 
 use hermit_core::Query;
-use hermit_server::HermitClient;
+use hermit_server::{ClientConfig, HermitClient};
 use hermit_storage::Value;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hermit-cli [--addr HOST:PORT] <insert|delete|query|point|explain|stats|checkpoint|shutdown> [args...]"
+        "usage: hermit-cli [--addr HOST:PORT] [--timeout-ms N] [--retries N] \
+         <insert|delete|query|point|explain|stats|checkpoint|shutdown> [args...]"
     );
     std::process::exit(2);
 }
@@ -70,15 +77,41 @@ fn print_rows(rows: &[Vec<Value>]) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut timeout = Duration::from_millis(10_000);
+    let mut retries = 2u32;
     let mut rest = &argv[..];
-    if rest.first().map(String::as_str) == Some("--addr") {
-        addr = rest.get(1).cloned().unwrap_or_else(|| usage());
-        rest = &rest[2..];
+    loop {
+        match rest.first().map(String::as_str) {
+            Some("--addr") => {
+                addr = rest.get(1).cloned().unwrap_or_else(|| usage());
+                rest = &rest[2..];
+            }
+            Some("--timeout-ms") => {
+                let ms: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                timeout = Duration::from_millis(ms);
+                rest = &rest[2..];
+            }
+            Some("--retries") => {
+                retries = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                rest = &rest[2..];
+            }
+            _ => break,
+        }
     }
     let Some(command) = rest.first() else { usage() };
     let args = &rest[1..];
 
-    let mut client = match HermitClient::connect(addr.as_str()) {
+    // `--timeout-ms 0` disables the bounds (a zero socket timeout is an
+    // error at the OS level, so map it to "no timeout").
+    let timeout = if timeout.is_zero() { None } else { Some(timeout) };
+    let config = ClientConfig {
+        connect_timeout: timeout,
+        read_timeout: timeout,
+        write_timeout: timeout,
+        retries,
+        ..ClientConfig::default()
+    };
+    let mut client = match HermitClient::connect_with(addr.as_str(), config) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("hermit-cli: cannot connect to {addr}: {e}");

@@ -3,6 +3,7 @@
 //! ```text
 //! hermit-server [--addr HOST:PORT] [--data-dir DIR] [--mem-rows N]
 //!               [--max-connections N] [--deadline-ms N] [--wal-sync-every N]
+//!               [--read-timeout-ms N]
 //! ```
 //!
 //! * `--data-dir DIR` — durable mode: open the checkpointed database at
@@ -32,12 +33,13 @@ struct Args {
     max_connections: usize,
     deadline_ms: Option<u64>,
     wal_sync_every: usize,
+    read_timeout_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: hermit-server [--addr HOST:PORT] [--data-dir DIR] [--mem-rows N] \
-         [--max-connections N] [--deadline-ms N] [--wal-sync-every N]"
+         [--max-connections N] [--deadline-ms N] [--wal-sync-every N] [--read-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +52,7 @@ fn parse_args() -> Args {
         max_connections: 64,
         deadline_ms: Some(5_000),
         wal_sync_every: 64,
+        read_timeout_ms: Some(60_000),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -71,6 +74,10 @@ fn parse_args() -> Args {
             }
             "--wal-sync-every" => {
                 args.wal_sync_every = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| usage());
+                args.read_timeout_ms = (ms > 0).then_some(ms);
             }
             _ => usage(),
         }
@@ -136,6 +143,7 @@ fn main() {
     let config = ServerConfig {
         max_connections: args.max_connections,
         query_deadline: args.deadline_ms.map(Duration::from_millis),
+        read_timeout: args.read_timeout_ms.map(Duration::from_millis),
         ..Default::default()
     };
     let server = match HermitServer::start(shared, Some(worker), config, args.addr.as_str()) {

@@ -28,6 +28,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{ClientError, ClientResult, HermitClient};
-pub use proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME};
+pub use client::{ClientConfig, ClientError, ClientResult, HermitClient};
+pub use proto::{ErrorCode, FaultClass, ProtoError, Request, Response, MAX_FRAME};
 pub use server::{HermitServer, ServerConfig, ServerMetrics};

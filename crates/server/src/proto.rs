@@ -56,8 +56,48 @@ pub enum ProtoError {
     CrcMismatch,
     /// Structurally invalid payload (unknown tag, bad arity, short body).
     Malformed(&'static str),
+    /// A read or write hit the socket's configured timeout.
+    TimedOut,
     /// Transport failure.
     Io(std::io::Error),
+}
+
+/// Coarse failure classification: may a client safely retry after this?
+///
+/// **Retryable** failures are transport-level — the *bytes* were lost or
+/// delayed, and repeating an idempotent request on a fresh connection is
+/// sound. **Fatal** failures mean one side produced or observed garbage;
+/// retrying would resend the same garbage (or trust a peer that already
+/// proved untrustworthy), so the client must surface the error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Transient transport failure; retry idempotent requests.
+    Retryable,
+    /// Protocol-level corruption or misuse; do not retry.
+    Fatal,
+}
+
+impl ProtoError {
+    /// Classify this failure (see [`FaultClass`]).
+    pub fn class(&self) -> FaultClass {
+        match self {
+            // The peer vanished or stalled mid-frame: nothing corrupt was
+            // exchanged, a fresh connection can safely repeat the request.
+            ProtoError::Truncated | ProtoError::TimedOut | ProtoError::Io(_) => {
+                FaultClass::Retryable
+            }
+            // Garbage on the wire or an unframeable message: resending
+            // changes nothing.
+            ProtoError::Oversized { .. } | ProtoError::CrcMismatch | ProtoError::Malformed(_) => {
+                FaultClass::Fatal
+            }
+        }
+    }
+
+    /// `true` if [`class`](Self::class) is [`FaultClass::Retryable`].
+    pub fn is_retryable(&self) -> bool {
+        self.class() == FaultClass::Retryable
+    }
 }
 
 impl std::fmt::Display for ProtoError {
@@ -69,6 +109,7 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::CrcMismatch => write!(f, "frame payload fails its CRC"),
             ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            ProtoError::TimedOut => write!(f, "socket timed out"),
             ProtoError::Io(e) => write!(f, "transport error: {e}"),
         }
     }
@@ -78,10 +119,11 @@ impl std::error::Error for ProtoError {}
 
 impl From<std::io::Error> for ProtoError {
     fn from(e: std::io::Error) -> Self {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            ProtoError::Truncated
-        } else {
-            ProtoError::Io(e)
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => ProtoError::Truncated,
+            // Both kinds occur for SO_RCVTIMEO expiry, platform-dependent.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ProtoError::TimedOut,
+            _ => ProtoError::Io(e),
         }
     }
 }
@@ -106,6 +148,9 @@ pub enum ErrorCode {
     ShuttingDown = 6,
     /// The peer sent a frame the server cannot trust (CRC/oversize).
     Protocol = 7,
+    /// The connection sat idle past the server's read timeout and was
+    /// reaped; reconnect and retry.
+    IdleTimeout = 8,
 }
 
 impl ErrorCode {
@@ -118,8 +163,29 @@ impl ErrorCode {
             5 => ErrorCode::Capacity,
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::Protocol,
+            8 => ErrorCode::IdleTimeout,
             _ => return None,
         })
+    }
+
+    /// Classify a server-reported error (see [`FaultClass`]): only errors
+    /// caused by transient server state — a full accept queue, an idle
+    /// reap — are worth repeating; semantic rejections are final.
+    pub fn class(self) -> FaultClass {
+        match self {
+            ErrorCode::Capacity | ErrorCode::IdleTimeout => FaultClass::Retryable,
+            ErrorCode::BadRequest
+            | ErrorCode::Storage
+            | ErrorCode::NotDurable
+            | ErrorCode::DeadlineExceeded
+            | ErrorCode::ShuttingDown
+            | ErrorCode::Protocol => FaultClass::Fatal,
+        }
+    }
+
+    /// `true` if [`class`](Self::class) is [`FaultClass::Retryable`].
+    pub fn is_retryable(self) -> bool {
+        self.class() == FaultClass::Retryable
     }
 }
 
@@ -551,6 +617,33 @@ mod tests {
             Err(ProtoError::Oversized { declared }) => assert_eq!(declared, u32::MAX as usize),
             other => panic!("expected Oversized, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_classification_splits_transport_from_corruption() {
+        assert!(ProtoError::Truncated.is_retryable());
+        assert!(ProtoError::TimedOut.is_retryable());
+        assert!(ProtoError::Io(std::io::Error::other("reset")).is_retryable());
+        assert!(!ProtoError::CrcMismatch.is_retryable());
+        assert!(!ProtoError::Oversized { declared: 9 }.is_retryable());
+        assert!(!ProtoError::Malformed("x").is_retryable());
+        assert!(ErrorCode::Capacity.is_retryable());
+        assert!(ErrorCode::IdleTimeout.is_retryable());
+        assert!(!ErrorCode::Storage.is_retryable());
+        assert!(!ErrorCode::ShuttingDown.is_retryable());
+    }
+
+    #[test]
+    fn idle_timeout_error_code_roundtrips() {
+        let resp = Response::Error { code: ErrorCode::IdleTimeout, message: "reaped".into() };
+        let mut payload = Vec::new();
+        resp.encode(&mut payload);
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+        // Socket-timeout io errors map onto the typed variant.
+        let e: ProtoError = std::io::Error::from(std::io::ErrorKind::WouldBlock).into();
+        assert!(matches!(e, ProtoError::TimedOut));
+        let e: ProtoError = std::io::Error::from(std::io::ErrorKind::TimedOut).into();
+        assert!(matches!(e, ProtoError::TimedOut));
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub struct ServerConfig {
     /// How long shutdown waits for in-flight connections to finish before
     /// force-closing their sockets.
     pub drain_timeout: Duration,
+    /// Per-connection idle read timeout: a connection that sends no frame
+    /// for this long is reaped — counted in
+    /// [`ServerMetrics::connections_reaped`], answered (best-effort) with
+    /// [`ErrorCode::IdleTimeout`], and closed — so a stalled or silent
+    /// client cannot pin a connection slot forever. `None` disables
+    /// reaping.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +75,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             query_deadline: Some(Duration::from_secs(5)),
             drain_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
@@ -82,6 +90,8 @@ pub struct ServerMetrics {
     pub connections_rejected: AtomicU64,
     /// Connections currently being served.
     pub connections_active: AtomicU64,
+    /// Idle connections reaped by the per-connection read timeout.
+    pub connections_reaped: AtomicU64,
     /// Request frames successfully decoded and dispatched.
     pub requests: AtomicU64,
     /// Requests answered with [`Response::Error`] (any code).
@@ -248,6 +258,9 @@ fn serve_connection(inner: &Arc<Inner>, stream: &TcpStream) {
     // Blocking reads on the connection socket (the listener's nonblocking
     // flag is inherited on some platforms — undo it).
     let _ = stream.set_nonblocking(false);
+    // Idle reaping: a read that exceeds the configured timeout surfaces as
+    // `ProtoError::TimedOut` below.
+    let _ = stream.set_read_timeout(inner.config.read_timeout);
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -268,6 +281,25 @@ fn serve_connection(inner: &Arc<Inner>, stream: &TcpStream) {
                 let _ = send_response(
                     &mut writer,
                     &Response::Error { code: ErrorCode::Protocol, message: e.to_string() },
+                    &mut scratch,
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            // Idle past the read timeout: reap the connection so a stalled
+            // client cannot pin a slot. Best-effort typed goodbye — a truly
+            // dead peer won't read it, a slow one learns why it was cut.
+            Err(ProtoError::TimedOut) => {
+                inner.metrics.connections_reaped.fetch_add(1, Ordering::Relaxed);
+                let _ = send_response(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::IdleTimeout,
+                        message: format!(
+                            "connection idle past the {:?} read timeout",
+                            inner.config.read_timeout.unwrap_or_default()
+                        ),
+                    },
                     &mut scratch,
                 );
                 let _ = stream.shutdown(Shutdown::Both);
@@ -409,6 +441,8 @@ fn render_stats(inner: &Arc<Inner>) -> String {
         "hermit_connections_rejected {}",
         m.connections_rejected.load(Ordering::Relaxed)
     );
+    let _ =
+        writeln!(out, "hermit_connections_reaped {}", m.connections_reaped.load(Ordering::Relaxed));
     let _ = writeln!(out, "hermit_requests_total {}", m.requests.load(Ordering::Relaxed));
     let _ = writeln!(out, "hermit_request_errors {}", m.errors.load(Ordering::Relaxed));
     let _ = writeln!(

@@ -1,0 +1,159 @@
+//! Serving-path robustness under unreliable clients and networks.
+//!
+//! * A silent (stalled) client is reaped by the per-connection read
+//!   timeout — counted, answered with [`ErrorCode::IdleTimeout`], and
+//!   closed — while concurrent well-behaved clients keep being served.
+//! * A [`HermitClient`] with retries enabled transparently survives a
+//!   one-shot disconnect on an idempotent request: jittered backoff,
+//!   reconnect, reissue — the caller just sees the rows.
+
+use hermit_core::shared::SharedDatabase;
+use hermit_core::{Database, Query};
+use hermit_server::proto::read_frame;
+use hermit_server::{ClientConfig, ErrorCode, HermitClient, HermitServer, Response, ServerConfig};
+use hermit_storage::{ColumnDef, Schema, TidScheme, Value};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+fn schema() -> Schema {
+    Schema::new(vec![ColumnDef::int("pk"), ColumnDef::float("host"), ColumnDef::float("target")])
+}
+
+fn boot(config: ServerConfig) -> HermitServer {
+    let db = Database::new(schema(), 0, TidScheme::Physical);
+    for pk in 0..500i64 {
+        let m = pk as f64;
+        db.insert(&[Value::Int(pk), Value::Float(2.0 * m), Value::Float(m)]).unwrap();
+    }
+    HermitServer::start(SharedDatabase::new(db), None, config, "127.0.0.1:0")
+        .expect("bind ephemeral")
+}
+
+#[test]
+fn stalled_client_is_reaped_while_others_keep_being_served() {
+    let config =
+        ServerConfig { read_timeout: Some(Duration::from_millis(300)), ..ServerConfig::default() };
+    let server = boot(config);
+
+    // The silent client: connects, then never sends a byte.
+    let stalled = TcpStream::connect(server.local_addr()).unwrap();
+    stalled.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // A well-behaved client keeps querying straight through the reap.
+    let mut live = HermitClient::connect(server.local_addr()).unwrap();
+    let t0 = Instant::now();
+    let mut served = 0u32;
+    while t0.elapsed() < Duration::from_millis(700) {
+        let rows = live.query(&Query::new().point(2, 42.0)).unwrap();
+        assert_eq!(rows.len(), 1);
+        served += 1;
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(served >= 10, "the live client must be served across the reap window");
+
+    // The stalled connection got the typed goodbye and was closed.
+    let payload = read_frame(&mut &stalled)
+        .expect("reap response must arrive before the socket closes")
+        .expect("expected an IdleTimeout frame, got EOF");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::IdleTimeout),
+        other => panic!("expected an IdleTimeout error, got {other:?}"),
+    }
+    assert!(
+        matches!(read_frame(&mut &stalled), Ok(None) | Err(_)),
+        "the reaped socket must be closed after the goodbye frame"
+    );
+
+    use std::sync::atomic::Ordering;
+    assert!(
+        server.metrics().connections_reaped.load(Ordering::Relaxed) >= 1,
+        "the reap must be counted"
+    );
+    let stats = live.stats().unwrap();
+    assert!(
+        stats.lines().any(|l| {
+            l.strip_prefix("hermit_connections_reaped ")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .is_some_and(|n| n >= 1)
+        }),
+        "stats must export the reap counter:\n{stats}"
+    );
+    server.stop();
+}
+
+/// A proxy that drops its first accepted connection (after the client has
+/// committed to it), then faithfully pipes every later one to the real
+/// server — the deterministic stand-in for a one-shot network blip.
+fn one_shot_flaky_proxy(server_addr: std::net::SocketAddr) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let proxy_addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        if let Ok((first, _)) = listener.accept() {
+            // Wait for the request bytes so the failure lands mid-call,
+            // then cut the connection without answering.
+            first.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            let mut byte = [0u8; 1];
+            let _ = std::io::Read::read(&mut &first, &mut byte);
+            let _ = first.shutdown(Shutdown::Both);
+        }
+        while let Ok((client_side, _)) = listener.accept() {
+            let Ok(server_side) = TcpStream::connect(server_addr) else { return };
+            let c2 = client_side.try_clone().unwrap();
+            let s2 = server_side.try_clone().unwrap();
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut &client_side, &mut &server_side);
+                let _ = server_side.shutdown(Shutdown::Both);
+            });
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut &s2, &mut &c2);
+                let _ = c2.shutdown(Shutdown::Both);
+            });
+        }
+    });
+    proxy_addr
+}
+
+#[test]
+fn client_retry_recovers_transparently_from_one_shot_disconnect() {
+    let server = boot(ServerConfig::default());
+    let proxy = one_shot_flaky_proxy(server.local_addr());
+
+    let config = ClientConfig {
+        retries: 3,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(50),
+        ..ClientConfig::default()
+    };
+    let mut client = HermitClient::connect_with(proxy, config).unwrap();
+
+    // The first query rides the doomed connection; the retry loop must
+    // reconnect through the proxy and reissue without the caller noticing.
+    let rows = client.query(&Query::new().point(2, 7.0)).unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(7), Value::Float(14.0), Value::Float(7.0)]]);
+    assert!(client.retries() >= 1, "the blip must have cost at least one retry");
+
+    // The healed connection keeps working without further retries.
+    let before = client.retries();
+    let rows = client.query(&Query::new().point(2, 9.0)).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(client.retries(), before, "a healthy connection must not retry");
+    server.stop();
+}
+
+/// With retries disabled (the default), the same blip surfaces as a typed
+/// retryable error — never a panic, never a hang.
+#[test]
+fn no_retry_surfaces_the_disconnect_as_a_typed_error() {
+    let server = boot(ServerConfig::default());
+    let proxy = one_shot_flaky_proxy(server.local_addr());
+
+    let mut client = HermitClient::connect_with(proxy, ClientConfig::default()).unwrap();
+    let err = client.query(&Query::new().point(2, 7.0)).unwrap_err();
+    match err {
+        hermit_server::ClientError::Proto(e) => {
+            assert!(e.is_retryable(), "a cut connection must classify as retryable: {e}")
+        }
+        other => panic!("expected a transport error, got {other}"),
+    }
+    server.stop();
+}

@@ -1,0 +1,132 @@
+//! Thread-local fault/crash-point hook for deterministic fault injection.
+//!
+//! Every durability-relevant I/O site in this crate — page reads/writes,
+//! page-store fsync, WAL append/commit/reset, and the atomic-rename file
+//! writes behind the catalog and TRS snapshots — calls [`fault_point`] with
+//! a stable site name before performing the real I/O. With no hook
+//! installed the call is a thread-local lookup and nothing else; test
+//! harnesses (the `hermit_fault` crate) install a hook to
+//!
+//! * **enumerate** the sites a workload passes through (the crash-schedule
+//!   explorer snapshots the directory at site *i* to model `kill -9` at
+//!   that exact instant), or
+//! * **inject** failures: [`FaultAction::Error`] makes the site fail with
+//!   an injected I/O error, [`FaultAction::Skip`] makes it *lie* — report
+//!   success without performing the I/O (a dropped write, a lying fsync).
+//!
+//! The hook is **thread-local** on purpose: `cargo test` runs tests of one
+//! binary concurrently on sibling threads, and a process-global hook would
+//! capture I/O from unrelated tests. A workload driven from the installing
+//! thread (the ordinary `Database` API is synchronous) sees every one of
+//! its sites; background threads (maintenance worker, server connections)
+//! see no hook and behave normally.
+//!
+//! Reentrancy is safe by construction: if a hook itself triggers
+//! instrumented I/O, the inner [`fault_point`] finds the hook cell already
+//! borrowed and continues without consulting it.
+
+use std::cell::RefCell;
+
+/// What an instrumented I/O site should do, as decided by the installed
+/// hook (or [`Continue`](FaultAction::Continue) when none is installed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Perform the real I/O.
+    Continue,
+    /// Fail with an injected I/O error (EIO-style).
+    Error,
+    /// Report success without performing the I/O — a *lying* device: the
+    /// dropped write / lying fsync failure mode. Sites where lying is
+    /// meaningless (reads, atomic renames) treat this as `Continue`.
+    Skip,
+}
+
+/// Hook signature: called with the site name on every instrumented I/O.
+pub type FaultHook = Box<dyn FnMut(&'static str) -> FaultAction>;
+
+thread_local! {
+    static HOOK: RefCell<Option<FaultHook>> = const { RefCell::new(None) };
+}
+
+/// Install `hook` for the current thread, replacing any previous one. The
+/// returned guard uninstalls it on drop, so a panicking test cannot leak a
+/// hook into the next test sharing the thread.
+pub fn install_fault_hook(
+    hook: impl FnMut(&'static str) -> FaultAction + 'static,
+) -> FaultHookGuard {
+    HOOK.with(|h| *h.borrow_mut() = Some(Box::new(hook)));
+    FaultHookGuard { _priv: () }
+}
+
+/// Uninstalls the thread's fault hook when dropped.
+pub struct FaultHookGuard {
+    _priv: (),
+}
+
+impl Drop for FaultHookGuard {
+    fn drop(&mut self) {
+        HOOK.with(|h| *h.borrow_mut() = None);
+    }
+}
+
+/// Consult the current thread's hook at an instrumented I/O site. Returns
+/// [`FaultAction::Continue`] when no hook is installed (the production
+/// fast path) or when called reentrantly from inside a hook.
+#[inline]
+pub fn fault_point(site: &'static str) -> FaultAction {
+    HOOK.with(|h| match h.try_borrow_mut() {
+        Ok(mut slot) => match slot.as_mut() {
+            Some(hook) => hook(site),
+            None => FaultAction::Continue,
+        },
+        Err(_) => FaultAction::Continue,
+    })
+}
+
+/// Construct the injected-error message for `site` (shared by the
+/// instrumented call sites so tests can match on it).
+pub fn injected_error(site: &'static str) -> String {
+    format!("injected fault at {site}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hook_continues() {
+        assert_eq!(fault_point("x"), FaultAction::Continue);
+    }
+
+    #[test]
+    fn hook_sees_sites_and_guard_uninstalls() {
+        let seen = std::rc::Rc::new(RefCell::new(Vec::new()));
+        {
+            let seen = std::rc::Rc::clone(&seen);
+            let _guard = install_fault_hook(move |site| {
+                seen.borrow_mut().push(site);
+                if site == "b" {
+                    FaultAction::Error
+                } else {
+                    FaultAction::Continue
+                }
+            });
+            assert_eq!(fault_point("a"), FaultAction::Continue);
+            assert_eq!(fault_point("b"), FaultAction::Error);
+        }
+        // Guard dropped: the hook is gone.
+        assert_eq!(fault_point("c"), FaultAction::Continue);
+        assert_eq!(*seen.borrow(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn reentrant_fault_point_continues() {
+        let _guard = install_fault_hook(|_| {
+            // A hook that itself hits an instrumented path must not
+            // deadlock or panic; the inner call sees Continue.
+            assert_eq!(fault_point("inner"), FaultAction::Continue);
+            FaultAction::Skip
+        });
+        assert_eq!(fault_point("outer"), FaultAction::Skip);
+    }
+}

@@ -27,6 +27,7 @@
 pub mod batch;
 pub mod column;
 pub mod error;
+pub mod fault;
 pub mod paged;
 pub mod recovery;
 pub mod schema;
@@ -39,6 +40,7 @@ pub mod wal;
 pub use batch::RowRef;
 pub use column::Column;
 pub use error::StorageError;
+pub use fault::{fault_point, install_fault_hook, FaultAction, FaultHookGuard};
 pub use recovery::{BaselineDef, Catalog, HermitDef, PageEntry, RecoveryError};
 pub use schema::{ColumnDef, ColumnId, ColumnType, Schema};
 pub use stats::ColumnStats;

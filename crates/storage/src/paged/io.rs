@@ -14,6 +14,7 @@
 
 use super::page::{Page, PageId, PAGE_SIZE};
 use crate::error::StorageError;
+use crate::fault::{fault_point, injected_error, FaultAction};
 use crate::Result;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -168,6 +169,11 @@ impl PageStore for FilePageStore {
         if id >= self.next_page.load(Ordering::Relaxed) {
             return Err(StorageError::PageNotFound { page: id });
         }
+        // Skip is meaningless for a read (there is nothing to lie about),
+        // so only Error is honored here.
+        if fault_point("page.read") == FaultAction::Error {
+            return Err(StorageError::Io(injected_error("page.read")));
+        }
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
         let mut buf = [0u8; PAGE_SIZE];
@@ -179,6 +185,17 @@ impl PageStore for FilePageStore {
     fn write(&self, id: PageId, page: &Page) -> Result<()> {
         if id >= self.next_page.load(Ordering::Relaxed) {
             return Err(StorageError::PageNotFound { page: id });
+        }
+        match fault_point("page.write") {
+            FaultAction::Error => return Err(StorageError::Io(injected_error("page.write"))),
+            FaultAction::Skip => {
+                // Silently-dropped write: report success (and count it, so
+                // I/O accounting cannot reveal the lie) without touching
+                // the file.
+                self.stats.record_write();
+                return Ok(());
+            }
+            FaultAction::Continue => {}
         }
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
@@ -196,6 +213,12 @@ impl PageStore for FilePageStore {
     }
 
     fn sync(&self) -> Result<()> {
+        match fault_point("page.sync") {
+            FaultAction::Error => return Err(StorageError::Io(injected_error("page.sync"))),
+            // Lying fsync: report durability without asking the OS for it.
+            FaultAction::Skip => return Ok(()),
+            FaultAction::Continue => {}
+        }
         self.file.lock().sync_all()?;
         Ok(())
     }

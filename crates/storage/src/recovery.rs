@@ -104,11 +104,22 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// fsync the parent directory so the rename itself is durable. Used for the
 /// catalog and for TRS-Tree snapshot files.
 pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use crate::fault::{fault_point, injected_error, FaultAction};
+    // Fault site before the temp write (crash leaves the old file intact,
+    // possibly next to a stale `.tmp`)…
+    if fault_point("atomic.write") == FaultAction::Error {
+        return Err(io::Error::other(injected_error("atomic.write")));
+    }
     let tmp = path.with_extension("tmp");
     {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(bytes)?;
         file.sync_all()?;
+    }
+    // …and before the rename (crash leaves a complete-but-unpublished temp
+    // sibling; the commit point is the rename itself).
+    if fault_point("atomic.rename") == FaultAction::Error {
+        return Err(io::Error::other(injected_error("atomic.rename")));
     }
     std::fs::rename(&tmp, path)?;
     sync_dir(path.parent().unwrap_or_else(|| Path::new(".")));

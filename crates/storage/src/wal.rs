@@ -39,6 +39,7 @@
 //! Cell encoding matches the paged heap's: tag 0 = NULL, 1 = Int, 2 = Float,
 //! with an 8-byte little-endian body.
 
+use crate::fault::{fault_point, injected_error, FaultAction};
 use crate::recovery::{crc32, sync_dir, RecoveryError};
 use crate::value::Value;
 use std::fs::{File, OpenOptions};
@@ -144,8 +145,19 @@ impl WalWriter {
     /// the header, fsyncs file and directory. After this returns, a reader
     /// sees an empty log of the given epoch.
     pub fn create(path: &Path, epoch: u64) -> Result<Self, RecoveryError> {
+        // Crash/fault site *before* the truncating open: a snapshot here
+        // models a crash between "new catalog renamed" and "WAL reset" —
+        // the stale-epoch WAL the epoch fence exists for.
+        if fault_point("wal.reset") == FaultAction::Error {
+            return Err(RecoveryError::Io(std::io::Error::other(injected_error("wal.reset"))));
+        }
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        // Site between truncation and the header write: a snapshot here is
+        // a header-torn (empty) WAL, which recovery must treat as benign.
+        if fault_point("wal.header") == FaultAction::Error {
+            return Err(RecoveryError::Io(std::io::Error::other(injected_error("wal.header"))));
+        }
         file.write_all(MAGIC)?;
         file.write_all(&VERSION.to_le_bytes())?;
         file.write_all(&epoch.to_le_bytes())?;
@@ -174,6 +186,18 @@ impl WalWriter {
     /// [`commit`](Self::commit)). Returns the number of records appended
     /// since the last commit.
     pub fn append(&mut self, rec: &WalRecord) -> Result<usize, RecoveryError> {
+        match fault_point("wal.append") {
+            FaultAction::Error => {
+                return Err(RecoveryError::Io(std::io::Error::other(injected_error("wal.append"))));
+            }
+            FaultAction::Skip => {
+                // Silently-dropped append: the caller is told the record is
+                // in the log, but no bytes were written.
+                self.uncommitted += 1;
+                return Ok(self.uncommitted);
+            }
+            FaultAction::Continue => {}
+        }
         let mut scratch = std::mem::take(&mut self.scratch);
         encode_payload(rec, &mut scratch);
         let res = (|| -> Result<(), RecoveryError> {
@@ -191,6 +215,19 @@ impl WalWriter {
     /// Flush buffered frames and fsync: everything appended so far is now
     /// durable (the commit-batch boundary).
     pub fn commit(&mut self) -> Result<(), RecoveryError> {
+        match fault_point("wal.commit") {
+            FaultAction::Error => {
+                return Err(RecoveryError::Io(std::io::Error::other(injected_error("wal.commit"))));
+            }
+            FaultAction::Skip => {
+                // Lying fsync: acknowledge durability without flushing or
+                // syncing — the buffered frames stay in user space and die
+                // with the process.
+                self.uncommitted = 0;
+                return Ok(());
+            }
+            FaultAction::Continue => {}
+        }
         self.out.flush()?;
         self.out.get_ref().sync_data()?;
         self.uncommitted = 0;

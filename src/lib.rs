@@ -15,6 +15,7 @@
 pub use hermit_btree as btree;
 pub use hermit_cm as cm;
 pub use hermit_core as core;
+pub use hermit_fault as fault;
 pub use hermit_server as server;
 pub use hermit_stats as stats;
 pub use hermit_storage as storage;

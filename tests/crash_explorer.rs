@@ -1,0 +1,55 @@
+//! Crash-schedule explorer acceptance test.
+//!
+//! Runs the canonical DML+checkpoint workload, crashing (`kill -9` model:
+//! directory snapshot at the instant of an instrumented I/O site) at every
+//! chosen site, recovering via `Database::open`, and comparing
+//! query-for-query against a statement-prefix oracle. See
+//! `hermit_fault::explorer` for the model.
+//!
+//! Site budget: `HERMIT_CRASH_SITES=all` explores the full matrix (a few
+//! hundred sites, seconds in release); `HERMIT_CRASH_SITES=<n>` explores
+//! an evenly-strided sample of `n`. Unset defaults to 48 so the tier-1
+//! debug run stays fast; CI's `chaos-smoke` job raises it in release.
+
+use hermit_fault::explore;
+use std::path::PathBuf;
+
+fn budget() -> Option<usize> {
+    match std::env::var("HERMIT_CRASH_SITES") {
+        Ok(v) if v.eq_ignore_ascii_case("all") => None,
+        Ok(v) => Some(v.parse().expect("HERMIT_CRASH_SITES must be a number or 'all'")),
+        Err(_) => Some(48),
+    }
+}
+
+fn root(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hermit-explorer-{}-{}", name, std::process::id()))
+}
+
+#[test]
+fn every_explored_crash_site_recovers_to_a_statement_prefix() {
+    let report = explore(&root("matrix"), budget());
+    eprintln!(
+        "crash explorer: {} sites total, {} explored, site classes: {:?}",
+        report.total_sites,
+        report.explored.len(),
+        report.site_names
+    );
+    assert!(
+        report.total_sites >= 30,
+        "canonical workload must pass ≥ 30 crash sites, found {}",
+        report.total_sites
+    );
+    assert!(
+        report.site_names.len() >= 5,
+        "expected several distinct site classes, found {:?}",
+        report.site_names
+    );
+    assert!(!report.explored.is_empty());
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("site {} ({}): {}", f.site, f.name, f.detail);
+        }
+        panic!("{} crash sites failed the recovery oracle", report.failures.len());
+    }
+}

@@ -20,11 +20,11 @@
 use hermit::core::recovery::{DurabilityConfig, PAGES_FILE, WAL_FILE};
 use hermit::core::shared::SharedDatabase;
 use hermit::core::{BatchOptions, CoreError, Database, PlanKind, Query, RangePredicate};
-use hermit::storage::paged::{FilePageStore, IoStats, Page, PageId, PageStore};
+use hermit::fault::FaultyPageStore;
+use hermit::storage::paged::{PageId, PageStore};
 use hermit::storage::{ColumnDef, Schema, TidScheme, Value};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn schema() -> Schema {
@@ -238,67 +238,9 @@ fn torn_wal_tail_recovers_to_last_complete_record() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// A [`PageStore`] wrapper that models device failure modes:
-/// * **dying** — writes and fsyncs return errors;
-/// * **lying** — writes and fsyncs report success but the data is dropped;
-/// * **drop_pages** — writes to *specific* pages silently vanish (the
-///   page-granular partial flush a crash leaves behind).
-struct FaultStore {
-    inner: FilePageStore,
-    dying: AtomicBool,
-    lying: AtomicBool,
-    drop_pages: parking_lot::Mutex<std::collections::HashSet<PageId>>,
-}
-
-impl FaultStore {
-    fn open(path: &Path) -> Self {
-        FaultStore {
-            inner: FilePageStore::open(path).unwrap(),
-            dying: AtomicBool::new(false),
-            lying: AtomicBool::new(false),
-            drop_pages: parking_lot::Mutex::new(std::collections::HashSet::new()),
-        }
-    }
-}
-
-impl PageStore for FaultStore {
-    fn allocate(&self) -> PageId {
-        self.inner.allocate()
-    }
-    fn read(&self, id: PageId) -> hermit::storage::Result<Page> {
-        self.inner.read(id)
-    }
-    fn write(&self, id: PageId, page: &Page) -> hermit::storage::Result<()> {
-        if self.dying.load(Ordering::SeqCst) {
-            return Err(hermit::storage::StorageError::Io("device died".into()));
-        }
-        if self.lying.load(Ordering::SeqCst) || self.drop_pages.lock().contains(&id) {
-            return Ok(()); // accepted, silently dropped
-        }
-        self.inner.write(id, page)
-    }
-    fn page_count(&self) -> u64 {
-        self.inner.page_count()
-    }
-    fn stats(&self) -> &IoStats {
-        self.inner.stats()
-    }
-    fn sync(&self) -> hermit::storage::Result<()> {
-        if self.dying.load(Ordering::SeqCst) {
-            return Err(hermit::storage::StorageError::Io("device died".into()));
-        }
-        if self.lying.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        self.inner.sync()
-    }
-    fn file_path(&self) -> Option<&Path> {
-        self.inner.file_path()
-    }
-    fn reserve(&self, pages: u64) {
-        self.inner.reserve(pages)
-    }
-}
+// Device failure modes (dying / lying / page-granular drops) come from the
+// shared `hermit_fault::FaultyPageStore` wrapper — the same double the
+// crash-schedule explorer and the fault-injection suite use.
 
 #[test]
 fn dying_device_fails_checkpoint_and_recovery_lands_on_previous_state() {
@@ -309,7 +251,7 @@ fn dying_device_fails_checkpoint_and_recovery_lands_on_previous_state() {
     drop(db);
 
     // Reopen through a store that will start failing after N more ops.
-    let store = Arc::new(FaultStore::open(&dir.join(PAGES_FILE)));
+    let store = Arc::new(FaultyPageStore::open(&dir.join(PAGES_FILE)).unwrap());
     let db =
         Database::open_with_store(&dir, Arc::clone(&store) as Arc<dyn PageStore>, &config).unwrap();
     for i in 0..200i64 {
@@ -321,7 +263,7 @@ fn dying_device_fails_checkpoint_and_recovery_lands_on_previous_state() {
 
     // Device dies; the checkpoint must fail cleanly, leaving the previous
     // catalog + committed WAL as the durable truth.
-    store.dying.store(true, Ordering::SeqCst);
+    store.set_dying(true);
     assert!(db.checkpoint(&dir).is_err(), "flush through a dead device cannot succeed");
     drop(db); // Drop-flush also fails; it is best-effort by design.
 
@@ -339,13 +281,13 @@ fn lying_device_is_detected_at_open_instead_of_serving_wrong_rows() {
     db.checkpoint(&dir).unwrap();
     drop(db);
 
-    let store = Arc::new(FaultStore::open(&dir.join(PAGES_FILE)));
+    let store = Arc::new(FaultyPageStore::open(&dir.join(PAGES_FILE)).unwrap());
     let db =
         Database::open_with_store(&dir, Arc::clone(&store) as Arc<dyn PageStore>, &config).unwrap();
     // Mutate a checkpointed page (tombstone), then checkpoint through the
     // now-lying device: every write "succeeds" but nothing reaches disk,
     // so the new catalog's live counts disagree with the durable pages.
-    store.lying.store(true, Ordering::SeqCst);
+    store.set_lying(true);
     db.delete_by_pk(2).unwrap();
     db.checkpoint(&dir).expect("a lying device cannot be observed at checkpoint time");
     drop(db);
@@ -371,13 +313,13 @@ fn lying_device_detected_even_when_live_counts_are_unchanged() {
     db.checkpoint(&dir).unwrap();
     drop(db);
 
-    let store = Arc::new(FaultStore::open(&dir.join(PAGES_FILE)));
+    let store = Arc::new(FaultyPageStore::open(&dir.join(PAGES_FILE)).unwrap());
     let db =
         Database::open_with_store(&dir, Arc::clone(&store) as Arc<dyn PageStore>, &config).unwrap();
     // pk 100_049 is the last-inserted outlier: it lives on the last page,
     // where the replacement insert will also land.
     let victim_page = db.primary().get(100_049).expect("outlier row is live").block;
-    store.lying.store(true, Ordering::SeqCst);
+    store.set_lying(true);
     db.delete_by_pk(100_049).unwrap();
     db.insert(&row(900_000, 42.25)).unwrap();
     let new_page = db.primary().get(900_000).unwrap().block;
@@ -407,7 +349,7 @@ fn lost_tombstone_page_plus_flushed_reinsert_leaves_no_ghost_row() {
     db.checkpoint(&dir).unwrap();
     drop(db);
 
-    let store = Arc::new(FaultStore::open(&dir.join(PAGES_FILE)));
+    let store = Arc::new(FaultyPageStore::open(&dir.join(PAGES_FILE)).unwrap());
     let db =
         Database::open_with_store(&dir, Arc::clone(&store) as Arc<dyn PageStore>, &config).unwrap();
     let victim_page = db.primary().get(5).expect("pk 5 is live").block as PageId;
@@ -421,7 +363,7 @@ fn lost_tombstone_page_plus_flushed_reinsert_leaves_no_ghost_row() {
 
     // Crash: the re-insert's page reaches the device, the tombstone's
     // page does not.
-    store.drop_pages.lock().insert(victim_page);
+    store.drop_page(victim_page);
     drop(db);
 
     let back = Database::open(&dir, &config).unwrap();

@@ -8,54 +8,10 @@
 //!   heavy deletion the seq-scan fallback stays correctly priced.
 
 use hermit::core::{Database, PlanKind, Query, RangePredicate, SecondaryIndex};
-use hermit::storage::paged::{
-    BufferPool, IoStats, Page, PageId, PageStore, PagedTable, SimulatedPageStore,
-};
+use hermit::fault::FaultyPageStore;
+use hermit::storage::paged::{BufferPool, PagedTable, SimulatedPageStore};
 use hermit::storage::{ColumnDef, F64Key, Schema, StorageError, TidScheme, Value};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-
-/// A [`PageStore`] that can be poisoned to fail every read — the
-/// deterministic stand-in for a device error mid-statement.
-struct FaultStore {
-    inner: SimulatedPageStore,
-    fail_reads: AtomicBool,
-}
-
-impl FaultStore {
-    fn new() -> Self {
-        FaultStore { inner: SimulatedPageStore::new(), fail_reads: AtomicBool::new(false) }
-    }
-
-    fn poison(&self, on: bool) {
-        self.fail_reads.store(on, Ordering::SeqCst);
-    }
-}
-
-impl PageStore for FaultStore {
-    fn allocate(&self) -> PageId {
-        self.inner.allocate()
-    }
-
-    fn read(&self, id: PageId) -> hermit::storage::Result<Page> {
-        if self.fail_reads.load(Ordering::SeqCst) {
-            return Err(StorageError::Io("injected device read failure".into()));
-        }
-        self.inner.read(id)
-    }
-
-    fn write(&self, id: PageId, page: &Page) -> hermit::storage::Result<()> {
-        self.inner.write(id, page)
-    }
-
-    fn page_count(&self) -> u64 {
-        self.inner.page_count()
-    }
-
-    fn stats(&self) -> &IoStats {
-        self.inner.stats()
-    }
-}
 
 fn schema() -> Schema {
     Schema::new(vec![ColumnDef::int("pk"), ColumnDef::float("host"), ColumnDef::float("target")])
@@ -63,8 +19,10 @@ fn schema() -> Schema {
 
 #[test]
 fn failed_heap_delete_leaves_indexes_consistent() {
-    let store = Arc::new(FaultStore::new());
-    let pool = Arc::new(BufferPool::new(Arc::<FaultStore>::clone(&store), 8));
+    // The shared fault-injection wrapper (poisoned reads are the
+    // deterministic stand-in for a device error mid-statement).
+    let store = Arc::new(FaultyPageStore::new(Arc::new(SimulatedPageStore::new())));
+    let pool = Arc::new(BufferPool::new(Arc::<FaultyPageStore>::clone(&store), 8));
     let table = PagedTable::new(schema(), Arc::clone(&pool));
     let mut db = Database::new_paged(table, 0);
     for i in 0..2_000i64 {
@@ -77,7 +35,7 @@ fn failed_heap_delete_leaves_indexes_consistent() {
     // Evict everything (flushing dirty frames), then poison the device: the
     // delete's single fetch-and-tombstone page access must fail.
     pool.clear().unwrap();
-    store.poison(true);
+    store.set_fail_reads(true);
     let err = db.delete_by_pk(500);
     assert!(matches!(err, Err(StorageError::Io(_))), "expected injected I/O failure, got {err:?}");
 
@@ -85,7 +43,7 @@ fn failed_heap_delete_leaves_indexes_consistent() {
     // and the host index still carries its entry. (Under the old ordering —
     // indexes maintained before the heap delete — the index entries would
     // already be gone here, leaving a live row unreachable by index.)
-    store.poison(false);
+    store.set_fail_reads(false);
     assert_eq!(db.len(), 2_000, "heap must be untouched by the failed delete");
     assert!(db.primary().get(500).is_some(), "primary entry must survive");
     let SecondaryIndex::Baseline(host_tree) = db.index(1).unwrap() else { unreachable!() };
