@@ -364,6 +364,112 @@ fn durability_metrics(rows: usize) -> String {
     )
 }
 
+/// Transaction subsystem throughput: commit rate at 1 / 8 / 64 statements
+/// per transaction (recorded as txn/s per batch size, so both the
+/// per-commit floor and the per-statement cost are visible in the
+/// trajectory), plus snapshot-reader scaling — range-query q/s at 1 vs 4
+/// reader threads
+/// racing one continuous transactional writer. Snapshot-isolation reads
+/// take a frozen lock-map view instead of blocking on writer locks, so the
+/// 1→4 ratio should track the concurrent (auto-commit) section's scaling
+/// rather than collapse toward 1.
+fn txn_metrics(rows: usize) -> String {
+    let shared = SharedDatabase::new(build_mem_simple(rows));
+    let mut next_pk = 30_000_000i64;
+    let mut batch_fields = Vec::new();
+    for batch in [1usize, 8, 64] {
+        let t0 = Instant::now();
+        let mut commits = 0u64;
+        while t0.elapsed() < BUDGET {
+            let txn = shared.begin().expect("bench begin");
+            for _ in 0..batch {
+                let m = (next_pk % rows as i64) as f64 + 0.25;
+                shared
+                    .insert_txn(txn, &[Value::Int(next_pk), Value::Float(2.0 * m), Value::Float(m)])
+                    .expect("bench txn insert");
+                next_pk += 1;
+            }
+            shared.commit(txn).expect("bench commit");
+            commits += 1;
+        }
+        let cps = commits as f64 / t0.elapsed().as_secs_f64();
+        println!(
+            "txn    commit batch {batch:<3}: {cps:>10.0} txn/s   ({:>12.0} stmt/s)",
+            cps * batch as f64
+        );
+        batch_fields.push(format!("\"batch_{batch}_commits_per_sec\": {cps:.1}"));
+    }
+    // Snapshot-reader scaling: a fresh database per thread count so both
+    // runs see the same heap, with one writer thread committing 8-statement
+    // transactions the whole time.
+    let mut reader_qps = [0.0f64; 2];
+    for (slot, readers) in [1usize, 4].into_iter().enumerate() {
+        let shared = SharedDatabase::new(build_mem_simple(rows));
+        let queries: Vec<Query> = {
+            let mut gen = QueryGen::new((0.0, (rows - 1) as f64), 0x7A10 + readers as u64);
+            gen.ranges(RANGE_SELECTIVITY, RANGE_QUERIES)
+                .into_iter()
+                .map(|(lb, ub)| Query::new().range(2, lb, ub))
+                .collect()
+        };
+        let stop = AtomicBool::new(false);
+        let reads = AtomicU64::new(0);
+        let elapsed = crossbeam::thread::scope(|s| {
+            {
+                let shared = shared.clone();
+                let stop = &stop;
+                s.spawn(move |_| {
+                    let mut pk = 40_000_000i64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let txn = shared.begin().expect("bench begin");
+                        for _ in 0..8 {
+                            let m = (pk % rows as i64) as f64 + 0.75;
+                            shared
+                                .insert_txn(
+                                    txn,
+                                    &[Value::Int(pk), Value::Float(2.0 * m), Value::Float(m)],
+                                )
+                                .expect("bench txn insert");
+                            pk += 1;
+                        }
+                        shared.commit(txn).expect("bench commit");
+                    }
+                });
+            }
+            for r in 0..readers {
+                let shared = shared.clone();
+                let (stop, reads, queries) = (&stop, &reads, &queries);
+                s.spawn(move |_| {
+                    let mut i = r;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::hint::black_box(
+                            shared.execute(&queries[i % queries.len()]).rows.len(),
+                        );
+                        i += 1;
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let t0 = Instant::now();
+            std::thread::sleep(BUDGET);
+            stop.store(true, Ordering::Relaxed);
+            t0.elapsed()
+        })
+        .unwrap();
+        let qps = reads.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64();
+        println!("txn    snapshot {readers} reader(s) + 1 txn writer: {qps:>12.0} q/s");
+        reader_qps[slot] = qps;
+    }
+    let scaling = reader_qps[1] / reader_qps[0];
+    println!("txn    snapshot reader scaling 1 -> 4 threads: {scaling:.2}x");
+    format!(
+        "{{{}, \"readers_1_qps\": {:.1}, \"readers_4_qps\": {:.1}, \"snapshot_scaling_1_to_4\": {scaling:.2}}}",
+        batch_fields.join(", "),
+        reader_qps[0],
+        reader_qps[1]
+    )
+}
+
 fn json_variants(variants: &[Variant]) -> String {
     let fields: Vec<String> =
         variants.iter().map(|v| format!("\"{}\": {:.1}", v.name, v.queries_per_sec)).collect();
@@ -464,15 +570,17 @@ fn main() {
     }
     let reorg_json = reorg_under_churn(rows);
     let durability_json = durability_metrics(rows);
+    let txn_json = txn_metrics(rows);
     let server_json = server_throughput(rows, 4, BUDGET);
 
     let json = format!(
-        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"durability\": {},\n  \"server\": {},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
+        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"durability\": {},\n  \"txn\": {},\n  \"server\": {},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
         sections.join(",\n"),
         reader_fields.join(", "),
         writer_field,
         reorg_json,
         durability_json,
+        txn_json,
         server_json,
         headline
     );

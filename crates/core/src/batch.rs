@@ -33,6 +33,7 @@ use crate::plan::{AccessPath, QueryPlan};
 use crate::query::Query;
 use hermit_storage::{F64Key, RowLoc, Tid, TidScheme};
 use hermit_trs::{LookupScratch, TrsLookup};
+use hermit_txn::ReadView;
 use std::time::Instant;
 
 /// Knobs for a batched lookup.
@@ -152,8 +153,13 @@ impl Database {
         partials.into_iter().flatten().collect()
     }
 
-    /// One plan through the batched pipeline, reusing `scratch`.
+    /// One plan through the batched pipeline, reusing `scratch`. Reads take
+    /// an auto-commit snapshot view, like [`Database::execute_plan`] — with
+    /// no open transactions the view is a lock-free no-op.
     fn execute_one_plan(&self, plan: &QueryPlan, scratch: &mut BatchScratch) -> QueryResult {
+        // Shared visibility latch per plan, like `Database::execute_plan`.
+        let _vis = self.txns.read_visibility();
+        let view = self.txns.read_view(None);
         let mut result = QueryResult::default();
         scratch.candidates.clear();
         scratch.recheck.clear();
@@ -188,12 +194,12 @@ impl Database {
             AccessPath::SeqScan => {
                 // The scan is already sequential in page order; the scalar
                 // scan path *is* the batched scan path.
-                self.run_scan_into(&scratch.recheck, plan.limit, &mut result);
+                self.run_scan_into(&scratch.recheck, plan.limit, &view, &mut result);
                 self.finish_plan(plan, &mut result);
                 return result;
             }
         }
-        self.batched_resolve_validate(scratch, &mut result);
+        self.batched_resolve_validate(scratch, &view, &mut result);
         self.finish_plan(plan, &mut result);
         result
     }
@@ -223,7 +229,7 @@ impl Database {
             }
             None => return result,
         }
-        self.batched_resolve_validate(scratch, &mut result);
+        self.batched_resolve_validate(scratch, &ReadView::unfiltered(), &mut result);
         result
     }
 
@@ -295,8 +301,15 @@ impl Database {
 
     /// Phases 3–4 of the batched pipeline: primary-index resolution into
     /// `scratch.locs`, then page-ordered base-table validation of every
-    /// `scratch.recheck` conjunct.
-    fn batched_resolve_validate(&self, scratch: &mut BatchScratch, result: &mut QueryResult) {
+    /// `scratch.recheck` conjunct. Rows invisible to the snapshot `view`
+    /// are skipped silently — neither matches nor false positives — same
+    /// as the scalar snapshot tail.
+    fn batched_resolve_validate(
+        &self,
+        scratch: &mut BatchScratch,
+        view: &ReadView,
+        result: &mut QueryResult,
+    ) {
         // Phase 3: primary-index resolution (logical scheme only).
         scratch.locs.clear();
         match self.scheme() {
@@ -322,11 +335,15 @@ impl Database {
         let t3 = Instant::now();
         let locs = &scratch.locs;
         let recheck = &scratch.recheck;
+        let filtering = view.is_filtering();
+        let pk_col = self.pk_col();
         result.rows.reserve(locs.len());
         self.heap().for_each_row_batch(locs, &mut scratch.order, |i, row| match row {
             None => result.unresolved += 1,
             Some(row) => {
-                if recheck.iter().all(|p| p.matches(row.f64(p.column))) {
+                if filtering && row.value(pk_col).as_i64().is_some_and(|pk| !view.visible_pk(pk)) {
+                    // Invisible to this snapshot: skip silently.
+                } else if recheck.iter().all(|p| p.matches(row.f64(p.column))) {
                     result.rows.push(locs[i]);
                 } else {
                     result.false_positives += 1;

@@ -44,6 +44,7 @@ use hermit_storage::{
     Value,
 };
 use hermit_trs::{ConcurrentTrsTree, PairSource, TrsParams, TrsTree};
+use hermit_txn::TxnManager;
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -227,6 +228,10 @@ pub struct Database {
     /// quiesce latch (read side) across the heap apply + WAL append so a
     /// checkpoint observes no half-logged statements.
     pub(crate) durability: Option<crate::recovery::Durability>,
+    /// Transaction table: ids, per-pk write locks, undo bookkeeping, and
+    /// snapshot-visibility views (see [`crate::txn`]). Always present —
+    /// with no open transactions every hook is a lock-free fast path.
+    pub(crate) txns: TxnManager,
 }
 
 impl Database {
@@ -242,6 +247,7 @@ impl Database {
             existing: Vec::new(),
             trs_params: TrsParams::default(),
             durability: None,
+            txns: TxnManager::new(),
         }
     }
 
@@ -258,6 +264,7 @@ impl Database {
             existing: Vec::new(),
             trs_params: TrsParams::default(),
             durability: None,
+            txns: TxnManager::new(),
         }
     }
 
@@ -377,7 +384,31 @@ impl Database {
             .get(self.pk_col)
             .and_then(|v| v.as_i64())
             .ok_or(StorageError::TypeMismatch { column: self.pk_col, expected: "Int" })?;
+        // First-writer-wins against open transactions: a pk they have
+        // dirtied is off limits to auto-commit writers too.
+        self.txns.check_unlocked(pk).map_err(|_| StorageError::WriteConflict { pk })?;
 
+        let tid = self.apply_insert(row, pk, breakdown)?;
+
+        // Log last: the WAL is a redo log of *applied* statements, so a
+        // failed insert never leaves a record to replay. Durable only as of
+        // the next commit-batch fsync / checkpoint.
+        if let Some((d, _quiesce, wal)) = statement.as_mut() {
+            d.log_insert(wal, row)?;
+        }
+        Ok(tid)
+    }
+
+    /// Physically apply an insert: heap, primary index, secondary and
+    /// composite index maintenance. No conflict check, no WAL — the shared
+    /// apply step of auto-commit inserts, transactional inserts, recovery
+    /// replay, and rollback compensation.
+    pub(crate) fn apply_insert(
+        &self,
+        row: &[Value],
+        pk: i64,
+        breakdown: &mut InsertBreakdown,
+    ) -> hermit_storage::Result<Tid> {
         let t0 = Instant::now();
         let loc = self.heap.insert(row)?;
         self.primary.write().insert(pk, loc);
@@ -415,13 +446,6 @@ impl Database {
             self.composites.write().maintain_insert(row, tid);
             breakdown.new_indexes += t2.elapsed();
         }
-
-        // Log last: the WAL is a redo log of *applied* statements, so a
-        // failed insert never leaves a record to replay. Durable only as of
-        // the next commit-batch fsync / checkpoint.
-        if let Some((d, _quiesce, wal)) = statement.as_mut() {
-            d.log_insert(wal, row)?;
-        }
         Ok(tid)
     }
 
@@ -442,6 +466,20 @@ impl Database {
             }
             None => None,
         };
+        self.txns.check_unlocked(pk).map_err(|_| StorageError::WriteConflict { pk })?;
+        self.apply_delete(pk)?;
+        if let Some((d, _quiesce, wal)) = statement.as_mut() {
+            d.log_delete(wal, pk)?;
+        }
+        Ok(())
+    }
+
+    /// Physically apply a delete by pk: heap fetch-and-tombstone first,
+    /// then primary / secondary / composite index removal. No conflict
+    /// check, no WAL — the shared apply step of auto-commit deletes,
+    /// transactional deletes, recovery replay, and rollback compensation.
+    /// Returns the deleted row's pre-image.
+    pub(crate) fn apply_delete(&self, pk: i64) -> hermit_storage::Result<Vec<Value>> {
         let loc = self.primary.read().get(pk).ok_or(StorageError::PkNotFound { pk })?;
         let row = self.heap.delete_returning(loc)?;
         let tid = self.make_tid(pk, loc);
@@ -463,10 +501,7 @@ impl Database {
         if !self.composites.read().is_empty() {
             self.composites.write().maintain_delete(&row, tid);
         }
-        if let Some((d, _quiesce, wal)) = statement.as_mut() {
-            d.log_delete(wal, pk)?;
-        }
-        Ok(())
+        Ok(row)
     }
 
     /// Create a complete baseline B+-tree index on `col`, bulk-loaded from

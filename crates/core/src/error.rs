@@ -39,6 +39,20 @@ pub enum CoreError {
     /// Checkpoint or recovery failed: a torn checkpoint was detected, an
     /// on-disk structure is corrupt, or the recovery files are unreadable.
     Recovery(String),
+    /// A transactional operation referenced an id that is not open (never
+    /// begun, or already committed / rolled back).
+    UnknownTxn {
+        /// The offending transaction id.
+        txn: u64,
+    },
+    /// A checkpoint was refused because transactions are still open: the
+    /// checkpoint would bake their uncommitted (physically applied) writes
+    /// into the new epoch while discarding the WAL records recovery needs
+    /// to roll them back. Finish or abort the transactions first.
+    OpenTransactions {
+        /// Number of open transactions at refusal time.
+        active: usize,
+    },
     /// An underlying storage operation failed.
     Storage(StorageError),
 }
@@ -58,6 +72,12 @@ impl fmt::Display for CoreError {
             ),
             CoreError::NotDurable { reason } => write!(f, "database is not durable: {reason}"),
             CoreError::Recovery(what) => write!(f, "recovery failed: {what}"),
+            CoreError::UnknownTxn { txn } => write!(f, "transaction {txn} is not open"),
+            CoreError::OpenTransactions { active } => write!(
+                f,
+                "checkpoint refused: {active} transaction(s) still open; commit or roll them \
+                 back first"
+            ),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
@@ -81,6 +101,20 @@ impl From<StorageError> for CoreError {
 impl From<hermit_storage::RecoveryError> for CoreError {
     fn from(e: hermit_storage::RecoveryError) -> Self {
         CoreError::Recovery(e.to_string())
+    }
+}
+
+impl From<hermit_txn::TxnError> for CoreError {
+    fn from(e: hermit_txn::TxnError) -> Self {
+        match e {
+            // A write-write conflict is a storage-class failure: callers
+            // (and the wire protocol) already classify `WriteConflict` as
+            // retryable, which is exactly the first-writer-wins contract.
+            hermit_txn::TxnError::Conflict { pk } => {
+                CoreError::Storage(StorageError::WriteConflict { pk })
+            }
+            hermit_txn::TxnError::UnknownTxn { txn } => CoreError::UnknownTxn { txn },
+        }
     }
 }
 

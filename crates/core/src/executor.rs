@@ -23,6 +23,7 @@ use crate::index::SecondaryIndex;
 use crate::plan::{AccessPath, QueryPlan};
 use crate::query::Query;
 use hermit_storage::{ColumnId, F64Key, RowLoc, Tid, TidScheme, Value};
+use hermit_txn::ReadView;
 use std::time::Instant;
 
 /// An inclusive range predicate on one column.
@@ -98,20 +99,37 @@ impl Database {
 
     /// Execute an already-built [`QueryPlan`] through the scalar pipeline
     /// (plan once with [`plan`](Self::plan), execute many times).
+    ///
+    /// Reads are snapshot-filtered as an auto-commit reader: another
+    /// transaction's uncommitted inserts are invisible and its pending
+    /// deletes still visible (see [`crate::txn`]). With no open
+    /// transactions the view is a lock-free no-op.
+    /// [`execute_for_txn`](Self::execute_for_txn) reads *as* a transaction
+    /// instead.
     pub fn execute_plan(&self, plan: &QueryPlan) -> QueryResult {
+        // Shared visibility latch for the whole execution (see
+        // `crate::txn`): the frozen view stays in lockstep with the heap
+        // until the last row is validated.
+        let _vis = self.txns.read_visibility();
+        self.execute_plan_view(plan, &self.txns.read_view(None))
+    }
+
+    /// [`execute_plan`](Self::execute_plan) with an explicit visibility
+    /// view (the shared body of auto-commit and transactional reads).
+    pub(crate) fn execute_plan_view(&self, plan: &QueryPlan, view: &ReadView) -> QueryResult {
         let mut result = QueryResult::default();
         match &plan.access {
             AccessPath::Hermit { pred, host } => {
                 let Some(SecondaryIndex::Hermit { trs, .. }) = self.index(pred.column) else {
                     return result; // index dropped since planning
                 };
-                self.run_hermit(trs, *host, *pred, &plan.recheck, &mut result);
+                self.run_hermit(trs, *host, *pred, &plan.recheck, Some(view), &mut result);
             }
             AccessPath::Baseline { pred } => {
                 let Some(SecondaryIndex::Baseline(tree)) = self.index(pred.column) else {
                     return result;
                 };
-                self.run_baseline(&tree.read(), *pred, &plan.recheck, &mut result);
+                self.run_baseline(&tree.read(), *pred, &plan.recheck, Some(view), &mut result);
             }
             AccessPath::CompositeBaseline { index, leading, value }
             | AccessPath::CompositeHermit { index, leading, value, .. } => {
@@ -125,10 +143,10 @@ impl Database {
                 ) {
                     return result;
                 }
-                self.resolve_and_validate(candidates, &plan.recheck, &mut result);
+                self.resolve_and_validate_view(candidates, &plan.recheck, view, &mut result);
             }
             AccessPath::SeqScan => {
-                self.run_scan_into(&plan.recheck, plan.limit, &mut result);
+                self.run_scan_into(&plan.recheck, plan.limit, view, &mut result);
             }
         }
         self.finish_plan(plan, &mut result);
@@ -173,11 +191,11 @@ impl Database {
         match self.index(pred.column) {
             Some(SecondaryIndex::Hermit { trs, host }) => {
                 let recheck: Vec<RangePredicate> = std::iter::once(pred).chain(extra).collect();
-                self.run_hermit(trs, *host, pred, &recheck, &mut result);
+                self.run_hermit(trs, *host, pred, &recheck, None, &mut result);
             }
             Some(SecondaryIndex::Baseline(tree)) => {
                 let recheck: Vec<RangePredicate> = extra.into_iter().collect();
-                self.run_baseline(&tree.read(), pred, &recheck, &mut result);
+                self.run_baseline(&tree.read(), pred, &recheck, None, &mut result);
             }
             None => {}
         }
@@ -190,14 +208,18 @@ impl Database {
     }
 
     /// Phases 1–4 of the Hermit route: TRS-Tree translation, host-index
-    /// probes, then the shared resolve+validate tail with `recheck` (which
-    /// must include `pred` itself — Hermit candidates are approximate).
+    /// probes, then the resolve+validate tail with `recheck` (which must
+    /// include `pred` itself — Hermit candidates are approximate).
+    /// `Some(view)` takes the snapshot tail (single heap read-session,
+    /// visibility-filtered); `None` is the legacy per-candidate tail kept
+    /// for [`lookup_range`](Self::lookup_range).
     fn run_hermit(
         &self,
         trs: &hermit_trs::ConcurrentTrsTree,
         host: ColumnId,
         pred: RangePredicate,
         recheck: &[RangePredicate],
+        view: Option<&ReadView>,
         result: &mut QueryResult,
     ) {
         // Phase 1: TRS-Tree search (under the tree's read latch).
@@ -231,16 +253,20 @@ impl Database {
         result.breakdown.host_index += t1.elapsed();
 
         // Phase 3 + 4: resolve and validate.
-        self.resolve_and_validate(candidates, recheck, result);
+        match view {
+            Some(view) => self.resolve_and_validate_view(candidates, recheck, view, result),
+            None => self.resolve_and_validate(candidates, recheck, result),
+        }
     }
 
-    /// Baseline pipeline: exact index range scan, then the shared tail with
-    /// the residual conjuncts only.
+    /// Baseline pipeline: exact index range scan, then the resolve+validate
+    /// tail with the residual conjuncts only (`view` as in `run_hermit`).
     fn run_baseline(
         &self,
         tree: &hermit_btree::BPlusTree<F64Key, Tid>,
         pred: RangePredicate,
         recheck: &[RangePredicate],
+        view: Option<&ReadView>,
         result: &mut QueryResult,
     ) {
         // Secondary-index search (charged to the host-index phase so the
@@ -255,23 +281,34 @@ impl Database {
         // The baseline's index hits are exact on `pred`; validation is only
         // needed for the residual conjuncts, but the tuples are fetched
         // either way (a real query returns rows, not tids).
-        self.resolve_and_validate(candidates, recheck, result);
+        match view {
+            Some(view) => self.resolve_and_validate_view(candidates, recheck, view, result),
+            None => self.resolve_and_validate(candidates, recheck, result),
+        }
     }
 
     /// The scan fallback: stream every live heap row, validating all
     /// conjuncts in-scan. Exact (no false positives, nothing unresolved),
-    /// and the only path that honors `limit` by stopping early.
+    /// and the only path that honors `limit` by stopping early. Rows the
+    /// snapshot `view` cannot see are skipped before predicate evaluation
+    /// and do not count toward the limit.
     pub(crate) fn run_scan_into(
         &self,
         checks: &[RangePredicate],
         limit: Option<usize>,
+        view: &ReadView,
         result: &mut QueryResult,
     ) {
         let t = Instant::now();
         let limit = limit.unwrap_or(usize::MAX);
+        let filtering = view.is_filtering();
+        let pk_col = self.pk_col();
         let rows = &mut result.rows;
         if limit > 0 {
             self.heap().for_each_live_row(|loc, row| {
+                if filtering && row.value(pk_col).as_i64().is_some_and(|pk| !view.visible_pk(pk)) {
+                    return true; // invisible to this snapshot; keep scanning
+                }
                 if checks.iter().all(|p| p.matches(row.f64(p.column))) {
                     rows.push(loc);
                 }
@@ -281,18 +318,11 @@ impl Database {
         result.breakdown.base_table += t.elapsed();
     }
 
-    /// Shared tail of the index pipelines: primary-index resolution
-    /// (logical pointers) and base-table fetch + validation of every
-    /// `recheck` conjunct.
-    fn resolve_and_validate(
-        &self,
-        candidates: Vec<Tid>,
-        recheck: &[RangePredicate],
-        result: &mut QueryResult,
-    ) {
-        // Phase 3: primary-index lookups (logical scheme only; one
-        // read-latch acquisition for the whole candidate set).
-        let locs: Vec<RowLoc> = match self.scheme() {
+    /// Phase 3 alone: resolve candidate tids to row locations. The logical
+    /// scheme pays the primary-index hop (one read-latch acquisition for
+    /// the whole candidate set); the physical scheme is a reinterpret.
+    fn resolve_candidates(&self, candidates: Vec<Tid>, result: &mut QueryResult) -> Vec<RowLoc> {
+        match self.scheme() {
             TidScheme::Physical => candidates.into_iter().map(|t| t.as_loc()).collect(),
             TidScheme::Logical => {
                 let t2 = Instant::now();
@@ -310,7 +340,20 @@ impl Database {
                 result.breakdown.primary_index += t2.elapsed();
                 resolved
             }
-        };
+        }
+    }
+
+    /// Legacy tail of the index pipelines: primary-index resolution
+    /// (logical pointers) and one base-table fetch per candidate,
+    /// validating every `recheck` conjunct. Kept unfiltered as the scalar
+    /// oracle behind [`lookup_range`](Self::lookup_range).
+    fn resolve_and_validate(
+        &self,
+        candidates: Vec<Tid>,
+        recheck: &[RangePredicate],
+        result: &mut QueryResult,
+    ) {
+        let locs = self.resolve_candidates(candidates, result);
 
         // Phase 4: base-table fetch + validation. One heap visit per
         // candidate: every recheck column is read from the same row view,
@@ -327,6 +370,61 @@ impl Database {
                     }
                 }
             });
+        }
+        result.breakdown.base_table += t3.elapsed();
+    }
+
+    /// Snapshot tail of the index pipelines: phase 3 via
+    /// [`resolve_candidates`](Self::resolve_candidates), then one batched
+    /// heap read-session for phase 4 — each heap page is pinned once
+    /// ([`crate::Heap::for_each_row_batch`]) instead of one latch
+    /// round-trip per candidate, which is what lets concurrent snapshot
+    /// readers scale past the per-row latch churn of the legacy tail.
+    ///
+    /// Rows invisible to `view` (another transaction's uncommitted insert,
+    /// or a row the owner has pending-deleted) are skipped silently: they
+    /// count as neither matches nor false positives, exactly as if the
+    /// write had never happened. Verdicts are buffered per candidate index
+    /// so `rows` keeps candidate order — bit-identical to the legacy tail
+    /// when nothing is filtered.
+    fn resolve_and_validate_view(
+        &self,
+        candidates: Vec<Tid>,
+        recheck: &[RangePredicate],
+        view: &ReadView,
+        result: &mut QueryResult,
+    ) {
+        let locs = self.resolve_candidates(candidates, result);
+
+        let t3 = Instant::now();
+        let filtering = view.is_filtering();
+        let pk_col = self.pk_col();
+        // 0 = unresolved, 1 = match, 2 = false positive, 3 = invisible.
+        let mut verdicts = vec![0u8; locs.len()];
+        let mut order = Vec::new();
+        self.heap().for_each_row_batch(&locs, &mut order, |i, row| {
+            verdicts[i] = match row {
+                None => 0,
+                Some(row) => {
+                    if filtering
+                        && row.value(pk_col).as_i64().is_some_and(|pk| !view.visible_pk(pk))
+                    {
+                        3
+                    } else if recheck.iter().all(|p| p.matches(row.f64(p.column))) {
+                        1
+                    } else {
+                        2
+                    }
+                }
+            };
+        });
+        for (i, &loc) in locs.iter().enumerate() {
+            match verdicts[i] {
+                1 => result.rows.push(loc),
+                2 => result.false_positives += 1,
+                3 => {}
+                _ => result.unresolved += 1,
+            }
         }
         result.breakdown.base_table += t3.elapsed();
     }

@@ -32,6 +32,11 @@
 //! baseline index, a composite box scan, or a sequential-scan fallback;
 //! [`Database::execute`] and [`Database::execute_batch`] run plans through
 //! the scalar and vectorized pipelines respectively.
+//!
+//! [`txn`] adds multi-statement transactions on top: snapshot-isolation
+//! reads, first-writer-wins write locks, WAL commit records, and loser
+//! rollback on recovery ([`Database::begin`] / [`Database::commit_txn`] /
+//! [`Database::rollback_txn`]).
 
 pub mod batch;
 pub mod breakdown;
@@ -46,6 +51,7 @@ pub mod plan;
 pub mod query;
 pub mod recovery;
 pub mod shared;
+pub mod txn;
 
 pub use batch::BatchOptions;
 pub use breakdown::{InsertBreakdown, LookupBreakdown, Phase};
@@ -54,6 +60,7 @@ pub use correlation::{discover_correlations, CorrelationReport, DiscoveryConfig}
 pub use database::{Database, Heap, MemoryReport};
 pub use error::CoreError;
 pub use executor::{QueryResult, RangePredicate};
+pub use hermit_txn::{TxnCounters, TxnError};
 pub use index::SecondaryIndex;
 pub use metrics::{LatencyHistogram, PlanLatencies};
 pub use plan::{AccessPath, PlanKind, QueryPlan};

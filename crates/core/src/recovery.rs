@@ -189,7 +189,10 @@ impl Durability {
         self.log(wal, &WalRecord::Delete { pk })
     }
 
-    fn log(&self, wal: &mut WalWriter, rec: &WalRecord) -> hermit_storage::Result<()> {
+    /// Append one record, fsyncing when the commit batch fills. Shared by
+    /// the auto-commit log-last paths and the transactional log-first
+    /// paths (see [`crate::txn`]).
+    pub(crate) fn log(&self, wal: &mut WalWriter, rec: &WalRecord) -> hermit_storage::Result<()> {
         let result = wal.append(rec).map_err(wal_err).and_then(|pending| {
             if pending >= self.sync_every {
                 wal.commit().map_err(wal_err)
@@ -197,11 +200,49 @@ impl Durability {
                 Ok(())
             }
         });
+        self.absorb_log_failure(result)
+    }
+
+    /// Append the `TxnCommit` record for `txn` and **force** the fsync
+    /// boundary regardless of the commit batch: a positive commit
+    /// acknowledgement must survive a crash. Routed through
+    /// [`WalWriter::append_txn_commit`] so the `wal.txn_commit` fault site
+    /// fires.
+    pub(crate) fn log_txn_commit(
+        &self,
+        wal: &mut WalWriter,
+        txn: u64,
+    ) -> hermit_storage::Result<()> {
+        let result =
+            wal.append_txn_commit(txn).map_err(wal_err).and_then(|_| wal.commit().map_err(wal_err));
+        self.absorb_log_failure(result)
+    }
+
+    /// Append the `TxnAbort` record for `txn` on the normal commit batch —
+    /// abort durability is an optimization, not a correctness requirement
+    /// (recovery rolls losers back without it). Routed through
+    /// [`WalWriter::append_txn_abort`] so the `wal.txn_abort` fault site
+    /// fires.
+    pub(crate) fn log_txn_abort(
+        &self,
+        wal: &mut WalWriter,
+        txn: u64,
+    ) -> hermit_storage::Result<()> {
+        let result = wal.append_txn_abort(txn).map_err(wal_err).and_then(|pending| {
+            if pending >= self.sync_every {
+                wal.commit().map_err(wal_err)
+            } else {
+                Ok(())
+            }
+        });
+        self.absorb_log_failure(result)
+    }
+
+    /// Poison the WAL on an append/fsync failure and report the split
+    /// state honestly: the write is applied in memory but unlogged, so it
+    /// becomes durable only at the next successful checkpoint.
+    fn absorb_log_failure(&self, result: hermit_storage::Result<()>) -> hermit_storage::Result<()> {
         if let Err(e) = result {
-            // The statement has already been applied in memory (redo-only
-            // logging; there is no undo). Poison the WAL so subsequent
-            // statements fail *before* applying, and report the split
-            // state honestly.
             self.wal_poisoned.store(true, Ordering::Release);
             return Err(StorageError::Io(format!(
                 "statement applied in memory but could not be logged ({e}); it becomes \
@@ -336,6 +377,17 @@ impl Database {
         }
 
         let _quiesce = self.durability.as_ref().map(|d| d.quiesce.write());
+
+        // Open transactions hold physically-applied-but-uncommitted writes;
+        // a checkpoint would bake them into the new epoch and then discard
+        // the old-epoch WAL records recovery needs to roll them back
+        // (phantom commit). Refuse instead. Checked under the quiesce write
+        // latch: `begin` on a durable database holds the read side, so no
+        // new transaction can slip in after this check.
+        let active = self.txns.active();
+        if active > 0 {
+            return Err(CoreError::OpenTransactions { active });
+        }
         table.pool().flush()?;
 
         // Drain the old writer's buffer into the *old* generation before
@@ -526,58 +578,119 @@ impl Database {
         // the torn-checkpoint note above). Per pk the log alternates
         // insert/delete, so apply-when-applicable converges on the logged
         // final state regardless of how far the pages ran ahead.
+        //
+        // Transactional records extend this to redo-then-undo (ARIES-lite;
+        // see `crate::txn`): *every* record redoes in order — including
+        // those of transactions that never committed, since the pool may
+        // have stolen any prefix of their effects — while each open
+        // transaction accumulates its undo list. `TxnCommit` closes a
+        // winner, `TxnAbort` rolls its transaction back at that log
+        // position, and whoever is still open at end of log is a loser
+        // rolled back last.
         let writer = match replay {
             Some(replay) => {
                 let width = catalog.schema.width();
+                fn redo_insert(
+                    db: &Database,
+                    row: &[Value],
+                    width: usize,
+                    pk_col: ColumnId,
+                ) -> Result<i64, CoreError> {
+                    if row.len() != width {
+                        return Err(CoreError::Recovery(format!(
+                            "wal insert record arity {} does not match schema width {width}",
+                            row.len()
+                        )));
+                    }
+                    let pk = row.get(pk_col).and_then(|v| v.as_i64()).ok_or_else(|| {
+                        CoreError::Recovery("wal insert record lacks a pk".into())
+                    })?;
+                    let existing = db.primary().get(pk);
+                    match existing {
+                        None => {
+                            db.insert(row).map_err(|e| {
+                                CoreError::Recovery(format!("wal insert replay failed: {e}"))
+                            })?;
+                        }
+                        Some(loc) => {
+                            // The heap ran ahead of the checkpoint (steal),
+                            // but the snapshot-restored Hermit trees are
+                            // strictly *at* the checkpoint — every
+                            // same-epoch record postdates them. Re-apply
+                            // index-only maintenance or the entry is a
+                            // permanent false negative. (Baseline trees and
+                            // the primary are rebuilt from the heap and
+                            // already carry it.)
+                            db.reapply_hermit_insert(row, pk, loc);
+                        }
+                    }
+                    Ok(pk)
+                }
+                fn redo_delete(db: &Database, pk: i64) -> Result<(), CoreError> {
+                    // A delete the heap already reflects is skipped
+                    // entirely: a Hermit entry the snapshot still carries
+                    // for it is a benign stale tid — resolution/validation
+                    // filters it, exactly like any other dead candidate.
+                    if db.primary().get(pk).is_some() {
+                        db.delete_by_pk(pk).map_err(|e| {
+                            CoreError::Recovery(format!("wal delete replay failed: {e}"))
+                        })?;
+                    }
+                    Ok(())
+                }
+                let mut open_txns: std::collections::HashMap<u64, Vec<hermit_txn::Undo>> =
+                    std::collections::HashMap::new();
+                let mut max_txn = 0u64;
                 for rec in &replay.records {
                     match rec {
                         WalRecord::Insert { row } => {
-                            if row.len() != width {
-                                return Err(CoreError::Recovery(format!(
-                                    "wal insert record arity {} does not match schema width {width}",
-                                    row.len()
-                                )));
-                            }
-                            let pk = row.get(catalog.pk_col).and_then(|v| v.as_i64()).ok_or_else(
-                                || CoreError::Recovery("wal insert record lacks a pk".into()),
-                            )?;
-                            let existing = db.primary().get(pk);
-                            match existing {
-                                None => {
-                                    db.insert(row).map_err(|e| {
-                                        CoreError::Recovery(format!(
-                                            "wal insert replay failed: {e}"
-                                        ))
-                                    })?;
-                                }
-                                Some(loc) => {
-                                    // The heap ran ahead of the checkpoint
-                                    // (steal), but the snapshot-restored
-                                    // Hermit trees are strictly *at* the
-                                    // checkpoint — every same-epoch record
-                                    // postdates them. Re-apply index-only
-                                    // maintenance or the entry is a
-                                    // permanent false negative. (Baseline
-                                    // trees and the primary are rebuilt
-                                    // from the heap and already carry it.)
-                                    db.reapply_hermit_insert(row, pk, loc);
-                                }
-                            }
+                            redo_insert(&db, row, width, catalog.pk_col)?;
                         }
-                        WalRecord::Delete { pk } => {
-                            // A delete the heap already reflects is skipped
-                            // entirely: a Hermit entry the snapshot still
-                            // carries for it is a benign stale tid —
-                            // resolution/validation filters it, exactly
-                            // like any other dead candidate.
-                            if db.primary().get(*pk).is_some() {
-                                db.delete_by_pk(*pk).map_err(|e| {
-                                    CoreError::Recovery(format!("wal delete replay failed: {e}"))
-                                })?;
+                        WalRecord::Delete { pk } => redo_delete(&db, *pk)?,
+                        WalRecord::TxnBegin { txn } => {
+                            max_txn = max_txn.max(*txn);
+                            open_txns.entry(*txn).or_default();
+                        }
+                        WalRecord::TxnInsert { txn, row } => {
+                            max_txn = max_txn.max(*txn);
+                            let pk = redo_insert(&db, row, width, catalog.pk_col)?;
+                            open_txns
+                                .entry(*txn)
+                                .or_default()
+                                .push(hermit_txn::Undo::Insert { pk });
+                        }
+                        WalRecord::TxnDelete { txn, pk, row } => {
+                            max_txn = max_txn.max(*txn);
+                            redo_delete(&db, *pk)?;
+                            open_txns
+                                .entry(*txn)
+                                .or_default()
+                                .push(hermit_txn::Undo::Delete { pk: *pk, row: row.clone() });
+                        }
+                        WalRecord::TxnCommit { txn } => {
+                            max_txn = max_txn.max(*txn);
+                            open_txns.remove(txn);
+                        }
+                        WalRecord::TxnAbort { txn } => {
+                            max_txn = max_txn.max(*txn);
+                            if let Some(undo) = open_txns.remove(txn) {
+                                db.apply_undo(&undo)?;
                             }
                         }
                     }
                 }
+                // End of log: everyone still open is a loser. Each txn's
+                // undo applies in reverse; across transactions the order is
+                // immaterial (the lock table kept their pk sets disjoint),
+                // sorted only for determinism.
+                let mut losers: Vec<(u64, Vec<hermit_txn::Undo>)> = open_txns.into_iter().collect();
+                losers.sort_by_key(|(txn, _)| *txn);
+                for (_, undo) in &losers {
+                    db.apply_undo(undo)?;
+                }
+                // Never reuse an id that still appears in this log
+                // generation.
+                db.txns().seed_next_id(max_txn + 1);
                 WalWriter::open_append(&wal_path, replay.epoch, replay.valid_len)?
             }
             None => WalWriter::create(&wal_path, catalog.wal_epoch)?,

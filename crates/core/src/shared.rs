@@ -137,6 +137,54 @@ impl SharedDatabase {
         self.inner.delete_by_pk(pk)
     }
 
+    /// Open a multi-statement transaction (see [`crate::txn`]). The id is
+    /// valid on any clone of this handle until committed or rolled back.
+    pub fn begin(&self) -> Result<u64, crate::CoreError> {
+        self.inner.begin()
+    }
+
+    /// Commit an open transaction: apply its deferred deletes, make its
+    /// writes visible to snapshot readers, and force the WAL commit record
+    /// durable (on durable databases).
+    pub fn commit(&self, txn: u64) -> Result<(), crate::CoreError> {
+        self.inner.commit_txn(txn)
+    }
+
+    /// Roll back an open transaction, restoring the exact pre-transaction
+    /// state across the heap and every index.
+    pub fn rollback(&self, txn: u64) -> Result<(), crate::CoreError> {
+        self.inner.rollback_txn(txn)
+    }
+
+    /// Insert a row inside an open transaction (invisible to other readers
+    /// until commit).
+    pub fn insert_txn(&self, txn: u64, row: &[Value]) -> Result<Tid, crate::CoreError> {
+        self.inner.insert_txn(txn, row)
+    }
+
+    /// Delete a row by primary key inside an open transaction (other
+    /// readers keep seeing the row until commit).
+    pub fn delete_by_pk_txn(&self, txn: u64, pk: i64) -> Result<(), crate::CoreError> {
+        self.inner.delete_by_pk_txn(txn, pk)
+    }
+
+    /// Plan and execute a query reading *as* an open transaction: its own
+    /// uncommitted writes are visible, its pending deletes are not.
+    pub fn execute_for_txn(&self, query: &Query, txn: u64) -> QueryResult {
+        self.inner.execute_for_txn(query, txn)
+    }
+
+    /// Cumulative transaction counters (begins/commits/aborts/conflicts)
+    /// plus the active-transaction gauge, for the stats exporter.
+    pub fn txn_counters(&self) -> hermit_txn::TxnCounters {
+        self.inner.txn_counters()
+    }
+
+    /// Number of currently open transactions.
+    pub fn txn_active(&self) -> usize {
+        self.inner.txn_active()
+    }
+
     /// Unwrap the handle, returning the database once this is the last
     /// clone (e.g. to run DDL); otherwise gives the handle back.
     pub fn into_inner(self) -> Result<Database, SharedDatabase> {

@@ -8,7 +8,8 @@
 //! [`fault_point`](hermit_storage::fault_point) hook; the explorer
 //!
 //! 1. runs a **canonical workload** (inserts, deletes, index builds,
-//!    checkpoints) once with a counting hook to learn the site schedule;
+//!    checkpoints, committed and aborted multi-statement transactions)
+//!    once with a counting hook to learn the site schedule;
 //! 2. re-runs it once per chosen site *i*, snapshotting the durability
 //!    directory the instant site *i* is reached — the `kill -9` image:
 //!    everything `write(2)` produced is on "disk", everything buffered in
@@ -67,6 +68,15 @@ fn schema() -> Schema {
     Schema::new(vec![ColumnDef::int("pk"), ColumnDef::float("host"), ColumnDef::float("target")])
 }
 
+/// One DML operation inside a [`Stmt::Txn`] statement.
+#[derive(Debug, Clone)]
+enum TxnOp {
+    /// `insert_txn` of `[pk, host, target]`.
+    Insert(i64, f64, f64),
+    /// `delete_by_pk_txn`.
+    Delete(i64),
+}
+
 /// One statement of the canonical workload.
 #[derive(Debug, Clone)]
 enum Stmt {
@@ -84,6 +94,18 @@ enum Stmt {
     Commit,
     /// Full checkpoint.
     Checkpoint,
+    /// A whole multi-statement transaction — begin, the ops, then commit
+    /// (`commit: true`) or rollback (`commit: false`). Modeled as ONE
+    /// workload statement because that is exactly the atomicity contract:
+    /// a crash anywhere inside it must recover either the full pre-state
+    /// (loser rolled back) or, once the `wal.txn_commit` record is down,
+    /// the full post-state — never a partial transaction.
+    Txn {
+        /// The transaction's DML, in order.
+        ops: Vec<TxnOp>,
+        /// Commit (true) or roll back (false) at the end.
+        commit: bool,
+    },
 }
 
 /// The canonical DML + DDL + checkpoint workload: two checkpoint cycles,
@@ -117,6 +139,32 @@ fn statements() -> Vec<Stmt> {
     for pk in 100..104i64 {
         s.push(Stmt::Delete(pk));
     }
+    // Committed transaction: inserts and deferred deletes land atomically
+    // (crash inside it must yield all-or-nothing).
+    s.push(Stmt::Txn {
+        ops: vec![
+            TxnOp::Insert(400, 240.0, 120.0),
+            TxnOp::Insert(401, 242.0, 121.0),
+            TxnOp::Delete(301),
+            TxnOp::Delete(1),
+        ],
+        commit: true,
+    });
+    // Aborted transaction (with an off-model outlier insert and a
+    // delete-of-own-insert): must leave no trace at any crash site.
+    s.push(Stmt::Txn {
+        ops: vec![
+            TxnOp::Insert(500, 9.0e8, 170.0),
+            TxnOp::Delete(302),
+            TxnOp::Insert(501, 250.0, 125.0),
+            TxnOp::Delete(501),
+            TxnOp::Delete(2),
+        ],
+        commit: false,
+    });
+    // A second committed transaction right at the tail, so `wal.txn_commit`
+    // is also exercised as the final durable record before the drop-flush.
+    s.push(Stmt::Txn { ops: vec![TxnOp::Insert(402, 244.0, 122.0)], commit: true });
     s.push(Stmt::Commit);
     s
 }
@@ -130,6 +178,23 @@ fn apply_logical(state: &mut RowMap, stmt: &Stmt) {
         }
         Stmt::Delete(pk) => {
             state.remove(pk);
+        }
+        // A committed transaction applies all of its ops; an aborted one
+        // applies nothing — atomicity is the oracle.
+        Stmt::Txn { ops, commit: true } => {
+            for op in ops {
+                match op {
+                    TxnOp::Insert(pk, host, target) => {
+                        state.insert(
+                            *pk,
+                            vec![Value::Int(*pk), Value::Float(*host), Value::Float(*target)],
+                        );
+                    }
+                    TxnOp::Delete(pk) => {
+                        state.remove(pk);
+                    }
+                }
+            }
         }
         _ => {}
     }
@@ -237,6 +302,28 @@ fn run_workload(
             }
             Stmt::Checkpoint => {
                 db.checkpoint(dir).expect("checkpoint");
+            }
+            Stmt::Txn { ops, commit } => {
+                let t = db.begin().expect("begin");
+                for op in ops {
+                    match op {
+                        TxnOp::Insert(pk, host, target) => {
+                            db.insert_txn(
+                                t,
+                                &[Value::Int(*pk), Value::Float(*host), Value::Float(*target)],
+                            )
+                            .expect("txn insert");
+                        }
+                        TxnOp::Delete(pk) => {
+                            db.delete_by_pk_txn(t, *pk).expect("txn delete");
+                        }
+                    }
+                }
+                if *commit {
+                    db.commit_txn(t).expect("txn commit");
+                } else {
+                    db.rollback_txn(t).expect("txn rollback");
+                }
             }
         }
     }

@@ -12,12 +12,26 @@
 //!   stats                         dump the server's metrics report
 //!   checkpoint                    trigger a live checkpoint
 //!   shutdown                      graceful server shutdown
+//!   begin                         open a transaction, print its id
+//!   commit                        commit this connection's transaction
+//!   rollback                      roll back this connection's transaction
+//!   txn                           scripted transaction: statements on stdin
 //! ```
 //!
 //! `--timeout-ms` bounds connect / read / write syscalls (default 10000);
 //! `--retries` reissues *idempotent* commands (query / point / explain /
 //! stats) after transient failures with jittered exponential backoff
 //! (default 2; mutating commands are never retried).
+//!
+//! Transactions are per-connection, so the standalone `begin` / `commit` /
+//! `rollback` verbs mostly exercise the protocol (a `begin` whose process
+//! exits is rolled back by the server). The useful surface is `txn`: it
+//! reads one statement per line from stdin — `insert`, `delete`, `query`,
+//! `point`, `commit`, `rollback`; blank lines and `#` comments skipped —
+//! runs them all inside one transaction on one connection, and commits at
+//! EOF unless the script said `commit`/`rollback` itself. Any failed
+//! statement rolls the transaction back and exits 1; a malformed statement
+//! rolls back and exits 2.
 //!
 //! Rows print one per line, tab-separated. Exit status 0 on success, 1 on
 //! a server-reported or transport error, 2 on a usage error.
@@ -30,7 +44,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: hermit-cli [--addr HOST:PORT] [--timeout-ms N] [--retries N] \
-         <insert|delete|query|point|explain|stats|checkpoint|shutdown> [args...]"
+         <insert|delete|query|point|explain|stats|checkpoint|shutdown\
+         |begin|commit|rollback|txn> [args...]"
     );
     std::process::exit(2);
 }
@@ -143,10 +158,109 @@ fn main() {
         "stats" => client.stats().map(|report| print!("{report}")),
         "checkpoint" => client.checkpoint().map(|()| println!("checkpoint complete")),
         "shutdown" => client.shutdown().map(|()| println!("shutdown acknowledged")),
+        "begin" => client.begin().map(|txn| println!("begun (txn {txn})")),
+        "commit" => client.commit().map(|()| println!("committed")),
+        "rollback" => client.rollback().map(|()| println!("rolled back")),
+        "txn" => {
+            run_txn_script(&mut client);
+            Ok(())
+        }
         _ => usage(),
     };
     if let Err(e) = outcome {
         eprintln!("hermit-cli: {e}");
         std::process::exit(1);
     }
+}
+
+/// The scripted-transaction mode: statements from stdin, one per line, all
+/// inside a single transaction on this connection. Commits at EOF unless
+/// the script committed or rolled back itself. Exits the process directly:
+/// 0 on success, 1 when the server rejects a statement (after rolling the
+/// transaction back), 2 on a malformed statement.
+fn run_txn_script(client: &mut HermitClient) {
+    let txn = match client.begin() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hermit-cli: begin failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("begun (txn {txn})");
+    let mut closed = false;
+    for line in std::io::stdin().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("hermit-cli: stdin: {e}");
+                let _ = client.rollback();
+                std::process::exit(1);
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if closed {
+            eprintln!("hermit-cli: statement after commit/rollback: `{line}`");
+            std::process::exit(2);
+        }
+        let words: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        let (stmt, args) = (words[0].as_str(), &words[1..]);
+        let outcome = match stmt {
+            "insert" if !args.is_empty() => {
+                let row: Vec<Value> = args.iter().map(|s| parse_cell(s)).collect();
+                client.insert(row).map(|tid| println!("inserted (tid {tid:#x})"))
+            }
+            "delete" if args.len() == 1 => match args[0].parse::<i64>() {
+                Ok(pk) => client.delete(pk).map(|()| println!("deleted {pk}")),
+                Err(_) => script_usage(client, line),
+            },
+            "query" => client.query(&parse_query(args)).map(|rows| print_rows(&rows)),
+            "point" if args.len() == 2 => {
+                match (args[0].parse::<usize>(), args[1].parse::<f64>()) {
+                    (Ok(col), Ok(v)) => {
+                        client.query(&Query::new().point(col, v)).map(|rows| print_rows(&rows))
+                    }
+                    _ => script_usage(client, line),
+                }
+            }
+            "commit" if args.is_empty() => {
+                closed = true;
+                client.commit().map(|()| println!("committed"))
+            }
+            "rollback" if args.is_empty() => {
+                closed = true;
+                client.rollback().map(|()| println!("rolled back"))
+            }
+            _ => script_usage(client, line),
+        };
+        if let Err(e) = outcome {
+            eprintln!("hermit-cli: {e}");
+            if !closed {
+                let _ = client.rollback();
+            }
+            std::process::exit(1);
+        }
+    }
+    if !closed {
+        if let Err(e) = client.commit() {
+            eprintln!("hermit-cli: commit failed: {e}");
+            let _ = client.rollback();
+            std::process::exit(1);
+        }
+        println!("committed");
+    }
+    std::process::exit(0);
+}
+
+/// A malformed script statement: roll back and exit 2 (usage error), same
+/// contract as a malformed command line.
+fn script_usage(client: &mut HermitClient, line: &str) -> ! {
+    eprintln!(
+        "hermit-cli: bad txn statement: `{line}` (expected insert/delete/query/point/\
+         commit/rollback)"
+    );
+    let _ = client.rollback();
+    std::process::exit(2);
 }

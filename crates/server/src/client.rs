@@ -289,4 +289,33 @@ impl HermitClient {
             other => Err(Self::expect_err(other, "Ok")),
         }
     }
+
+    /// Open a transaction on this connection; subsequent `insert` / `delete`
+    /// / `query` calls run inside it until [`commit`](Self::commit) or
+    /// [`rollback`](Self::rollback). Never retried: a reissued `Begin`
+    /// after a torn response could open a second transaction server-side.
+    pub fn begin(&mut self) -> ClientResult<u64> {
+        match self.call(&Request::Begin)? {
+            Response::TxnBegun { txn } => Ok(txn),
+            other => Err(Self::expect_err(other, "TxnBegun")),
+        }
+    }
+
+    /// Commit this connection's open transaction. Never retried — a torn
+    /// response leaves the commit outcome unknown, and the connection is
+    /// gone anyway (the server rolls back on disconnect).
+    pub fn commit(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Commit)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::expect_err(other, "Ok")),
+        }
+    }
+
+    /// Roll back this connection's open transaction. Never retried.
+    pub fn rollback(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Rollback)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::expect_err(other, "Ok")),
+        }
+    }
 }

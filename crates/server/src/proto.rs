@@ -26,6 +26,16 @@
 //! | 0x05 | `Checkpoint`                 | 0x85 | `Stats(String)`            |
 //! | 0x06 | `Stats`                      | 0x86 | `Ok`                       |
 //! | 0x07 | `Shutdown`                   | 0x87 | `Error { code, message }`  |
+//! | 0x08 | `Begin`                      | 0x88 | `TxnBegun { txn }`         |
+//! | 0x09 | `Commit`                     |      |                            |
+//! | 0x0A | `Rollback`                   |      |                            |
+//!
+//! Transactions are **per-connection implicit**: `Begin` opens one on the
+//! connection (at most one at a time), subsequent `Insert`/`Delete`/`Query`
+//! requests run inside it, and `Commit`/`Rollback` close it — no
+//! transaction id travels on the wire (the returned id is informational,
+//! for logs and tests). A connection that drops mid-transaction is rolled
+//! back by the server.
 //!
 //! Cells use the WAL's encoding (`0` NULL, `1` i64, `2` f64; 9 bytes each);
 //! queries serialize their conjuncts, projection, and limit exactly as the
@@ -151,6 +161,9 @@ pub enum ErrorCode {
     /// The connection sat idle past the server's read timeout and was
     /// reaped; reconnect and retry.
     IdleTimeout = 8,
+    /// A first-writer-wins write conflict: another transaction holds the
+    /// pk. Retry the statement (or the whole transaction) after a backoff.
+    Conflict = 9,
 }
 
 impl ErrorCode {
@@ -164,6 +177,7 @@ impl ErrorCode {
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::Protocol,
             8 => ErrorCode::IdleTimeout,
+            9 => ErrorCode::Conflict,
             _ => return None,
         })
     }
@@ -173,7 +187,9 @@ impl ErrorCode {
     /// reap — are worth repeating; semantic rejections are final.
     pub fn class(self) -> FaultClass {
         match self {
-            ErrorCode::Capacity | ErrorCode::IdleTimeout => FaultClass::Retryable,
+            ErrorCode::Capacity | ErrorCode::IdleTimeout | ErrorCode::Conflict => {
+                FaultClass::Retryable
+            }
             ErrorCode::BadRequest
             | ErrorCode::Storage
             | ErrorCode::NotDurable
@@ -209,6 +225,13 @@ pub enum Request {
     Stats,
     /// Gracefully shut the server down (drain, stop worker, checkpoint).
     Shutdown,
+    /// Open a transaction on this connection; respond with
+    /// [`Response::TxnBegun`]. At most one per connection.
+    Begin,
+    /// Commit this connection's open transaction.
+    Commit,
+    /// Roll back this connection's open transaction.
+    Rollback,
 }
 
 /// A server→client message.
@@ -228,8 +251,14 @@ pub enum Response {
     Explain(String),
     /// Rendered metrics report.
     Stats(String),
-    /// Generic acknowledgement (checkpoint, shutdown).
+    /// Generic acknowledgement (checkpoint, shutdown, commit, rollback).
     Ok,
+    /// Transaction opened; the id is informational (logs, tests) — requests
+    /// on this connection route through it implicitly.
+    TxnBegun {
+        /// Server-assigned transaction id.
+        txn: u64,
+    },
     /// Typed failure; the connection stays usable unless the code is
     /// [`ErrorCode::Protocol`].
     Error {
@@ -433,6 +462,9 @@ impl Request {
             Request::Checkpoint => out.push(0x05),
             Request::Stats => out.push(0x06),
             Request::Shutdown => out.push(0x07),
+            Request::Begin => out.push(0x08),
+            Request::Commit => out.push(0x09),
+            Request::Rollback => out.push(0x0A),
         }
     }
 
@@ -447,6 +479,9 @@ impl Request {
             0x05 => Request::Checkpoint,
             0x06 => Request::Stats,
             0x07 => Request::Shutdown,
+            0x08 => Request::Begin,
+            0x09 => Request::Commit,
+            0x0A => Request::Rollback,
             _ => return Err(ProtoError::Malformed("unknown request tag")),
         };
         c.finish()?;
@@ -485,6 +520,10 @@ impl Response {
                 out.extend_from_slice(&(*code as u16).to_le_bytes());
                 put_string(out, message);
             }
+            Response::TxnBegun { txn } => {
+                out.push(0x88);
+                out.extend_from_slice(&txn.to_le_bytes());
+            }
         }
     }
 
@@ -516,6 +555,7 @@ impl Response {
                     ErrorCode::from_u16(raw).ok_or(ProtoError::Malformed("unknown error code"))?;
                 Response::Error { code, message: c.string()? }
             }
+            0x88 => Response::TxnBegun { txn: c.u64()? },
             _ => return Err(ProtoError::Malformed("unknown response tag")),
         };
         c.finish()?;
@@ -629,8 +669,26 @@ mod tests {
         assert!(!ProtoError::Malformed("x").is_retryable());
         assert!(ErrorCode::Capacity.is_retryable());
         assert!(ErrorCode::IdleTimeout.is_retryable());
+        assert!(ErrorCode::Conflict.is_retryable());
         assert!(!ErrorCode::Storage.is_retryable());
         assert!(!ErrorCode::ShuttingDown.is_retryable());
+    }
+
+    #[test]
+    fn txn_messages_roundtrip() {
+        for req in [Request::Begin, Request::Commit, Request::Rollback] {
+            let mut payload = Vec::new();
+            req.encode(&mut payload);
+            assert_eq!(Request::decode(&payload).unwrap(), req);
+        }
+        let resp = Response::TxnBegun { txn: 42 };
+        let mut payload = Vec::new();
+        resp.encode(&mut payload);
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+        let resp = Response::Error { code: ErrorCode::Conflict, message: "pk 7".into() };
+        let mut payload = Vec::new();
+        resp.encode(&mut payload);
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
     }
 
     #[test]

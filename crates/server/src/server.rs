@@ -28,7 +28,9 @@
 //!
 //! The `Stats` request renders every observability counter the engine
 //! keeps — buffer-pool hits/misses, reorganization passes / queue depth /
-//! outlier share, WAL tail depth, worker sweeps, admission counters, and
+//! outlier share, WAL tail depth, transaction counters
+//! (begins/commits/aborts/conflicts + the active gauge), worker sweeps,
+//! admission counters, and
 //! the per-plan-kind latency histograms — as a stable `name value` text
 //! dump (one metric per line, Prometheus-style labels), so a scrape is one
 //! round-trip with no extra dependency.
@@ -252,9 +254,22 @@ fn admit(inner: &Arc<Inner>, stream: TcpStream) {
     });
 }
 
-/// One connection's request loop. Returns when the peer disconnects, sends
-/// an untrustworthy frame, or the server drains.
+/// One connection's request loop plus transaction cleanup: whatever way the
+/// loop exits — clean disconnect, torn frame, idle reap, drain, shutdown —
+/// a transaction still open on the connection is rolled back before the
+/// connection is accounted closed, so a dropped client leaves no trace and
+/// the final-checkpoint path never sees a stranded open transaction.
 fn serve_connection(inner: &Arc<Inner>, stream: &TcpStream) {
+    let mut txn: Option<u64> = None;
+    serve_requests(inner, stream, &mut txn);
+    if let Some(t) = txn {
+        let _ = inner.db.rollback(t);
+    }
+}
+
+/// The request loop proper; `txn` is the connection's implicit open
+/// transaction (see the protocol docs in [`crate::proto`]).
+fn serve_requests(inner: &Arc<Inner>, stream: &TcpStream, txn: &mut Option<u64>) {
     // Blocking reads on the connection socket (the listener's nonblocking
     // flag is inherited on some platforms — undo it).
     let _ = stream.set_nonblocking(false);
@@ -331,7 +346,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: &TcpStream) {
             return;
         }
         let shutdown = request == Request::Shutdown;
-        let response = handle_request(inner, request);
+        let response = handle_request(inner, request, txn);
         if matches!(response, Response::Error { .. }) {
             inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -347,14 +362,45 @@ fn serve_connection(inner: &Arc<Inner>, stream: &TcpStream) {
     }
 }
 
-fn handle_request(inner: &Arc<Inner>, request: Request) -> Response {
+/// Map a core-layer failure to the wire's stable error codes: write
+/// conflicts are [`ErrorCode::Conflict`] (retryable — first-writer-wins
+/// losers should back off and retry), unknown-transaction is a client
+/// protocol misuse ([`ErrorCode::BadRequest`]), the rest keep their
+/// existing classes.
+fn core_error(e: CoreError) -> Response {
+    let code = match &e {
+        CoreError::Storage(hermit_storage::StorageError::WriteConflict { .. }) => {
+            ErrorCode::Conflict
+        }
+        CoreError::UnknownTxn { .. } => ErrorCode::BadRequest,
+        CoreError::NotDurable { .. } => ErrorCode::NotDurable,
+        _ => ErrorCode::Storage,
+    };
+    Response::Error { code, message: e.to_string() }
+}
+
+/// Map a storage-layer failure from the auto-commit DML path (a
+/// [`hermit_storage::StorageError::WriteConflict`] means the statement lost
+/// to an open transaction's lock).
+fn storage_error(e: hermit_storage::StorageError) -> Response {
+    let code = match &e {
+        hermit_storage::StorageError::WriteConflict { .. } => ErrorCode::Conflict,
+        _ => ErrorCode::Storage,
+    };
+    Response::Error { code, message: e.to_string() }
+}
+
+fn handle_request(inner: &Arc<Inner>, request: Request, txn: &mut Option<u64>) -> Response {
     let db = &inner.db;
     match request {
         Request::Query(query) => {
             let plan = db.db().plan(&query);
             let kind = plan.kind();
             let t0 = Instant::now();
-            let result = db.db().execute_plan(&plan);
+            let result = match *txn {
+                Some(t) => db.execute_for_txn(&query, t),
+                None => db.db().execute_plan(&plan),
+            };
             let elapsed = t0.elapsed();
             inner.metrics.query_latency.record(kind, elapsed);
             if let Some(deadline) = inner.config.query_deadline {
@@ -391,13 +437,70 @@ fn handle_request(inner: &Arc<Inner>, request: Request) -> Response {
             }
             Response::Rows(rows)
         }
-        Request::Insert(row) => match db.insert(&row) {
-            Ok(tid) => Response::Inserted { tid: tid.0 },
-            Err(e) => Response::Error { code: ErrorCode::Storage, message: e.to_string() },
+        Request::Insert(row) => match *txn {
+            Some(t) => match db.insert_txn(t, &row) {
+                Ok(tid) => Response::Inserted { tid: tid.0 },
+                Err(e) => core_error(e),
+            },
+            None => match db.insert(&row) {
+                Ok(tid) => Response::Inserted { tid: tid.0 },
+                Err(e) => storage_error(e),
+            },
         },
-        Request::Delete { pk } => match db.delete_by_pk(pk) {
-            Ok(()) => Response::Deleted,
-            Err(e) => Response::Error { code: ErrorCode::Storage, message: e.to_string() },
+        Request::Delete { pk } => match *txn {
+            Some(t) => match db.delete_by_pk_txn(t, pk) {
+                Ok(()) => Response::Deleted,
+                Err(e) => core_error(e),
+            },
+            None => match db.delete_by_pk(pk) {
+                Ok(()) => Response::Deleted,
+                Err(e) => storage_error(e),
+            },
+        },
+        Request::Begin => {
+            if txn.is_some() {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "a transaction is already open on this connection".into(),
+                };
+            }
+            match db.begin() {
+                Ok(t) => {
+                    *txn = Some(t);
+                    Response::TxnBegun { txn: t }
+                }
+                Err(e) => core_error(e),
+            }
+        }
+        Request::Commit => match txn.take() {
+            None => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "no open transaction on this connection".into(),
+            },
+            Some(t) => match db.commit(t) {
+                Ok(()) => Response::Ok,
+                Err(e) => {
+                    // A failed commit leaves the transaction open with a
+                    // sound undo list (see hermit_core::txn) — keep it on
+                    // the connection so rollback / disconnect cleans up.
+                    if !matches!(e, CoreError::UnknownTxn { .. }) {
+                        *txn = Some(t);
+                    }
+                    core_error(e)
+                }
+            },
+        },
+        Request::Rollback => match txn.take() {
+            None => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "no open transaction on this connection".into(),
+            },
+            // Rollback always completes in memory; a WAL failure logging
+            // the abort record is reported but the transaction is closed.
+            Some(t) => match db.rollback(t) {
+                Ok(()) => Response::Ok,
+                Err(e) => core_error(e),
+            },
         },
         Request::Explain(query) => Response::Explain(db.db().plan(&query).to_string()),
         Request::Checkpoint => match db.checkpoint() {
@@ -463,6 +566,13 @@ fn render_stats(inner: &Arc<Inner>) -> String {
     if let Some(depth) = db.wal_depth() {
         let _ = writeln!(out, "hermit_wal_uncommitted {depth}");
     }
+
+    let txn = db.txn_counters();
+    let _ = writeln!(out, "hermit_txn_begins {}", txn.begins);
+    let _ = writeln!(out, "hermit_txn_commits {}", txn.commits);
+    let _ = writeln!(out, "hermit_txn_aborts {}", txn.aborts);
+    let _ = writeln!(out, "hermit_txn_conflicts {}", txn.conflicts);
+    let _ = writeln!(out, "hermit_txn_active {}", txn.active);
 
     let _ = writeln!(out, "hermit_reorg_passes {}", inner.db.reorg_passes());
     let _ = writeln!(out, "hermit_reorg_queue_depth {}", inner.db.reorg_queue_len());

@@ -55,6 +55,12 @@ pub enum StorageError {
         /// The slot index that failed to resolve.
         slot: u16,
     },
+    /// The primary key is write-locked by an open transaction (first-writer
+    /// wins; the loser sees this and may retry after the owner finishes).
+    WriteConflict {
+        /// The contended primary key.
+        pk: i64,
+    },
     /// Underlying file I/O failed (paged storage only).
     Io(String),
 }
@@ -79,6 +85,9 @@ impl fmt::Display for StorageError {
             StorageError::PageNotFound { page } => write!(f, "page {page} not found"),
             StorageError::PageFull => write!(f, "page full"),
             StorageError::SlotNotFound { slot } => write!(f, "slot {slot} not found"),
+            StorageError::WriteConflict { pk } => {
+                write!(f, "primary key {pk} is write-locked by an open transaction")
+            }
             StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

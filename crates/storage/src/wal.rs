@@ -32,12 +32,26 @@
 //! ```text
 //! header: magic "HMWL" | version u32 | epoch u64          (16 bytes)
 //! frame:  len u32 | crc32 u32 (of payload) | payload[len]
-//! payload: kind u8 = 1 (insert): width u16 | width × (tag u8 | body u64)
-//!          kind u8 = 2 (delete): pk i64
+//! payload: kind u8 = 1 (insert):     width u16 | width × (tag u8 | body u64)
+//!          kind u8 = 2 (delete):     pk i64
+//!          kind u8 = 3 (txn begin):  txn u64
+//!          kind u8 = 4 (txn insert): txn u64 | width u16 | width × cell
+//!          kind u8 = 5 (txn delete): txn u64 | pk i64 | width u16 | width × cell
+//!          kind u8 = 6 (txn commit): txn u64
+//!          kind u8 = 7 (txn abort):  txn u64
 //! ```
 //!
 //! Cell encoding matches the paged heap's: tag 0 = NULL, 1 = Int, 2 = Float,
 //! with an 8-byte little-endian body.
+//!
+//! Kinds 3–7 carry multi-statement transactions (the `hermit_txn`
+//! subsystem). A txn-delete record carries the **full pre-image row**, not
+//! just the key: the buffer pool may steal the physical delete to disk
+//! before the commit record lands, and recovery must be able to reinstate
+//! the row when it rolls the loser back — the heap alone can no longer
+//! produce it. An old reader treats any of these kinds as a torn tail
+//! (bad record kind), so the version stays 1 and downgrade is safe up to
+//! losing the post-checkpoint txn suffix.
 
 use crate::fault::{fault_point, injected_error, FaultAction};
 use crate::recovery::{crc32, sync_dir, RecoveryError};
@@ -66,6 +80,85 @@ pub enum WalRecord {
         /// Primary key of the deleted row.
         pk: i64,
     },
+    /// A multi-statement transaction began.
+    TxnBegin {
+        /// Transaction id (monotonic per log generation).
+        txn: u64,
+    },
+    /// A row inserted inside an open transaction.
+    TxnInsert {
+        /// Owning transaction id.
+        txn: u64,
+        /// Full row values, in schema order.
+        row: Vec<Value>,
+    },
+    /// A row deleted inside a transaction, with its full pre-image so loser
+    /// rollback can reinstate it even after a buffer-pool steal persisted
+    /// the physical delete.
+    TxnDelete {
+        /// Owning transaction id.
+        txn: u64,
+        /// Primary key of the deleted row.
+        pk: i64,
+        /// Pre-image of the deleted row, in schema order.
+        row: Vec<Value>,
+    },
+    /// The transaction committed: every record it logged is now a winner.
+    TxnCommit {
+        /// Committing transaction id.
+        txn: u64,
+    },
+    /// The transaction aborted: its logged effects must be undone (recovery
+    /// treats an open txn with no commit record identically).
+    TxnAbort {
+        /// Aborting transaction id.
+        txn: u64,
+    },
+}
+
+fn encode_cells(row: &[Value], buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        match v {
+            Value::Null => {
+                buf.push(0);
+                buf.extend_from_slice(&[0u8; 8]);
+            }
+            Value::Int(x) => {
+                buf.push(1);
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Float(x) => {
+                buf.push(2);
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Decode `width u16 | width × (tag u8 | body u64)` starting at `payload[at]`;
+/// the cells must consume the payload exactly.
+fn decode_cells(payload: &[u8], at: usize) -> Result<Vec<Value>, RecoveryError> {
+    if payload.len() < at + 2 {
+        return Err(RecoveryError::Corrupt("short row record"));
+    }
+    let width = u16::from_le_bytes(payload[at..at + 2].try_into().unwrap()) as usize;
+    let base = at + 2;
+    if payload.len() != base + width * 9 {
+        return Err(RecoveryError::Corrupt("row record length mismatch"));
+    }
+    let mut row = Vec::with_capacity(width);
+    for c in 0..width {
+        let cell = &payload[base + c * 9..base + (c + 1) * 9];
+        let body: [u8; 8] = cell[1..9].try_into().unwrap();
+        row.push(match cell[0] {
+            0 => Value::Null,
+            1 => Value::Int(i64::from_le_bytes(body)),
+            2 => Value::Float(f64::from_le_bytes(body)),
+            _ => return Err(RecoveryError::Corrupt("bad cell tag")),
+        });
+    }
+    Ok(row)
 }
 
 fn encode_payload(rec: &WalRecord, buf: &mut Vec<u8>) {
@@ -73,59 +166,80 @@ fn encode_payload(rec: &WalRecord, buf: &mut Vec<u8>) {
     match rec {
         WalRecord::Insert { row } => {
             buf.push(1);
-            buf.extend_from_slice(&(row.len() as u16).to_le_bytes());
-            for v in row {
-                match v {
-                    Value::Null => {
-                        buf.push(0);
-                        buf.extend_from_slice(&[0u8; 8]);
-                    }
-                    Value::Int(x) => {
-                        buf.push(1);
-                        buf.extend_from_slice(&x.to_le_bytes());
-                    }
-                    Value::Float(x) => {
-                        buf.push(2);
-                        buf.extend_from_slice(&x.to_le_bytes());
-                    }
-                }
-            }
+            encode_cells(row, buf);
         }
         WalRecord::Delete { pk } => {
             buf.push(2);
             buf.extend_from_slice(&pk.to_le_bytes());
         }
+        WalRecord::TxnBegin { txn } => {
+            buf.push(3);
+            buf.extend_from_slice(&txn.to_le_bytes());
+        }
+        WalRecord::TxnInsert { txn, row } => {
+            buf.push(4);
+            buf.extend_from_slice(&txn.to_le_bytes());
+            encode_cells(row, buf);
+        }
+        WalRecord::TxnDelete { txn, pk, row } => {
+            buf.push(5);
+            buf.extend_from_slice(&txn.to_le_bytes());
+            buf.extend_from_slice(&pk.to_le_bytes());
+            encode_cells(row, buf);
+        }
+        WalRecord::TxnCommit { txn } => {
+            buf.push(6);
+            buf.extend_from_slice(&txn.to_le_bytes());
+        }
+        WalRecord::TxnAbort { txn } => {
+            buf.push(7);
+            buf.extend_from_slice(&txn.to_le_bytes());
+        }
     }
+}
+
+fn decode_u64(payload: &[u8], at: usize) -> Result<u64, RecoveryError> {
+    payload
+        .get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .ok_or(RecoveryError::Corrupt("short txn record"))
 }
 
 fn decode_payload(payload: &[u8]) -> Result<WalRecord, RecoveryError> {
     match payload.first() {
-        Some(1) => {
-            if payload.len() < 3 {
-                return Err(RecoveryError::Corrupt("short insert record"));
-            }
-            let width = u16::from_le_bytes(payload[1..3].try_into().unwrap()) as usize;
-            if payload.len() != 3 + width * 9 {
-                return Err(RecoveryError::Corrupt("insert record length mismatch"));
-            }
-            let mut row = Vec::with_capacity(width);
-            for c in 0..width {
-                let cell = &payload[3 + c * 9..3 + (c + 1) * 9];
-                let body: [u8; 8] = cell[1..9].try_into().unwrap();
-                row.push(match cell[0] {
-                    0 => Value::Null,
-                    1 => Value::Int(i64::from_le_bytes(body)),
-                    2 => Value::Float(f64::from_le_bytes(body)),
-                    _ => return Err(RecoveryError::Corrupt("bad cell tag")),
-                });
-            }
-            Ok(WalRecord::Insert { row })
-        }
+        Some(1) => Ok(WalRecord::Insert { row: decode_cells(payload, 1)? }),
         Some(2) => {
             if payload.len() != 9 {
                 return Err(RecoveryError::Corrupt("delete record length mismatch"));
             }
             Ok(WalRecord::Delete { pk: i64::from_le_bytes(payload[1..9].try_into().unwrap()) })
+        }
+        Some(3) => {
+            if payload.len() != 9 {
+                return Err(RecoveryError::Corrupt("txn-begin record length mismatch"));
+            }
+            Ok(WalRecord::TxnBegin { txn: decode_u64(payload, 1)? })
+        }
+        Some(4) => Ok(WalRecord::TxnInsert {
+            txn: decode_u64(payload, 1)?,
+            row: decode_cells(payload, 9)?,
+        }),
+        Some(5) => Ok(WalRecord::TxnDelete {
+            txn: decode_u64(payload, 1)?,
+            pk: decode_u64(payload, 9)? as i64,
+            row: decode_cells(payload, 17)?,
+        }),
+        Some(6) => {
+            if payload.len() != 9 {
+                return Err(RecoveryError::Corrupt("txn-commit record length mismatch"));
+            }
+            Ok(WalRecord::TxnCommit { txn: decode_u64(payload, 1)? })
+        }
+        Some(7) => {
+            if payload.len() != 9 {
+                return Err(RecoveryError::Corrupt("txn-abort record length mismatch"));
+            }
+            Ok(WalRecord::TxnAbort { txn: decode_u64(payload, 1)? })
         }
         _ => Err(RecoveryError::Corrupt("bad record kind")),
     }
@@ -210,6 +324,50 @@ impl WalWriter {
         res?;
         self.uncommitted += 1;
         Ok(self.uncommitted)
+    }
+
+    /// Append a [`WalRecord::TxnCommit`] for `txn`, behind its own
+    /// `wal.txn_commit` fault site so the crash-schedule explorer can
+    /// `kill -9` the instant before the commit record reaches the log
+    /// (the transaction must then recover as a loser). The generic
+    /// `wal.append` site still fires inside the inner [`append`](Self::append).
+    pub fn append_txn_commit(&mut self, txn: u64) -> Result<usize, RecoveryError> {
+        match fault_point("wal.txn_commit") {
+            FaultAction::Error => {
+                return Err(RecoveryError::Io(std::io::Error::other(injected_error(
+                    "wal.txn_commit",
+                ))));
+            }
+            FaultAction::Skip => {
+                // Dropped commit record: the caller believes the txn is
+                // logged as a winner, but the log never says so.
+                self.uncommitted += 1;
+                return Ok(self.uncommitted);
+            }
+            FaultAction::Continue => {}
+        }
+        self.append(&WalRecord::TxnCommit { txn })
+    }
+
+    /// Append a [`WalRecord::TxnAbort`] for `txn`, behind its own
+    /// `wal.txn_abort` fault site (see [`append_txn_commit`](Self::append_txn_commit)).
+    /// A dropped/crashed abort record is benign for atomicity — recovery
+    /// rolls back any open txn without a commit record anyway — but the
+    /// site proves that.
+    pub fn append_txn_abort(&mut self, txn: u64) -> Result<usize, RecoveryError> {
+        match fault_point("wal.txn_abort") {
+            FaultAction::Error => {
+                return Err(RecoveryError::Io(std::io::Error::other(injected_error(
+                    "wal.txn_abort",
+                ))));
+            }
+            FaultAction::Skip => {
+                self.uncommitted += 1;
+                return Ok(self.uncommitted);
+            }
+            FaultAction::Continue => {}
+        }
+        self.append(&WalRecord::TxnAbort { txn })
     }
 
     /// Flush buffered frames and fsync: everything appended so far is now
@@ -317,6 +475,7 @@ pub fn read_wal(path: &Path) -> Result<WalReplay, RecoveryError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::RefCell;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("hermit-wal-{}", std::process::id()));
@@ -421,6 +580,79 @@ mod tests {
             replay.records,
             vec![WalRecord::Delete { pk: 10 }, WalRecord::Delete { pk: 11 }]
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn txn_records_roundtrip() {
+        let path = tmp("txn-roundtrip.wal");
+        let recs = vec![
+            WalRecord::TxnBegin { txn: 7 },
+            WalRecord::TxnInsert { txn: 7, row: vec![Value::Int(1), Value::Float(2.5)] },
+            WalRecord::TxnDelete {
+                txn: 7,
+                pk: -3,
+                row: vec![Value::Int(-3), Value::Null, Value::Float(1e9)],
+            },
+            WalRecord::TxnAbort { txn: 7 },
+            WalRecord::TxnBegin { txn: 8 },
+            WalRecord::TxnCommit { txn: 8 },
+        ];
+        let mut w = WalWriter::create(&path, 5).unwrap();
+        for rec in &recs {
+            w.append(rec).unwrap();
+        }
+        w.commit().unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records, recs);
+        assert!(!replay.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn txn_commit_abort_helpers_hit_their_fault_sites() {
+        let path = tmp("txn-sites.wal");
+        let seen = std::rc::Rc::new(RefCell::new(Vec::new()));
+        {
+            let seen = std::rc::Rc::clone(&seen);
+            let _guard = crate::fault::install_fault_hook(move |site| {
+                seen.borrow_mut().push(site);
+                FaultAction::Continue
+            });
+            let mut w = WalWriter::create(&path, 1).unwrap();
+            w.append_txn_commit(11).unwrap();
+            w.append_txn_abort(12).unwrap();
+            w.commit().unwrap();
+        }
+        let sites = seen.borrow();
+        assert!(sites.contains(&"wal.txn_commit"));
+        assert!(sites.contains(&"wal.txn_abort"));
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![WalRecord::TxnCommit { txn: 11 }, WalRecord::TxnAbort { txn: 12 }]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dropped_txn_commit_record_leaves_no_bytes() {
+        let path = tmp("txn-skip.wal");
+        let _guard = crate::fault::install_fault_hook(|site| {
+            if site == "wal.txn_commit" {
+                FaultAction::Skip
+            } else {
+                FaultAction::Continue
+            }
+        });
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        w.append(&WalRecord::TxnBegin { txn: 1 }).unwrap();
+        w.append_txn_commit(1).unwrap();
+        w.commit().unwrap();
+        let replay = read_wal(&path).unwrap();
+        // The begin landed; the lying commit-record append left the log
+        // showing an open (loser) transaction.
+        assert_eq!(replay.records, vec![WalRecord::TxnBegin { txn: 1 }]);
         std::fs::remove_file(&path).ok();
     }
 

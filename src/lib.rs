@@ -20,4 +20,5 @@ pub use hermit_server as server;
 pub use hermit_stats as stats;
 pub use hermit_storage as storage;
 pub use hermit_trs as trs;
+pub use hermit_txn as txn;
 pub use hermit_workloads as workloads;

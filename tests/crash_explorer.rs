@@ -8,8 +8,9 @@
 //!
 //! Site budget: `HERMIT_CRASH_SITES=all` explores the full matrix (a few
 //! hundred sites, seconds in release); `HERMIT_CRASH_SITES=<n>` explores
-//! an evenly-strided sample of `n`. Unset defaults to 48 so the tier-1
-//! debug run stays fast; CI's `chaos-smoke` job raises it in release.
+//! an evenly-strided sample of `n`. Unset defaults to 64 so the tier-1
+//! debug run stays fast while still landing inside the transactional tail
+//! of the workload; CI's `chaos-smoke` job raises it in release.
 
 use hermit_fault::explore;
 use std::path::PathBuf;
@@ -18,7 +19,7 @@ fn budget() -> Option<usize> {
     match std::env::var("HERMIT_CRASH_SITES") {
         Ok(v) if v.eq_ignore_ascii_case("all") => None,
         Ok(v) => Some(v.parse().expect("HERMIT_CRASH_SITES must be a number or 'all'")),
-        Err(_) => Some(48),
+        Err(_) => Some(64),
     }
 }
 
@@ -45,6 +46,16 @@ fn every_explored_crash_site_recovers_to_a_statement_prefix() {
         "expected several distinct site classes, found {:?}",
         report.site_names
     );
+    // The transactional tail of the canonical workload must register its
+    // commit and abort WAL appends as crash sites — losing these classes
+    // means the atomicity contract is no longer under test.
+    for class in ["wal.txn_commit", "wal.txn_abort"] {
+        assert!(
+            report.site_names.contains_key(class),
+            "site class `{class}` missing from the schedule: {:?}",
+            report.site_names
+        );
+    }
     assert!(!report.explored.is_empty());
     if !report.failures.is_empty() {
         for f in &report.failures {
