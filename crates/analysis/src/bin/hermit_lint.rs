@@ -1,0 +1,84 @@
+//! `hermit-lint` — run the workspace invariant checks from the command
+//! line.
+//!
+//! ```text
+//! hermit-lint [--root <dir>] [--deny-all] [--verbose]
+//! ```
+//!
+//! Findings print to stdout as stable `file:line: [rule-id] message`
+//! lines, sorted by file and line. By default annotation-suppressed
+//! findings are hidden; `--verbose` shows them with their reasons. With
+//! `--deny-all` the exit code is nonzero when any unannotated finding
+//! exists — that is the CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => deny_all = true,
+            "--verbose" => verbose = true,
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("hermit-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: hermit-lint [--root <dir>] [--deny-all] [--verbose]");
+                println!("  --root <dir>  workspace root (default: current directory)");
+                println!("  --deny-all    exit nonzero on any unannotated finding");
+                println!("  --verbose     also print annotation-suppressed findings");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hermit-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let ws = match hermit_analysis::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("hermit-lint: failed to load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if ws.files.is_empty() {
+        eprintln!("hermit-lint: no Rust sources under {} — wrong --root?", root.display());
+        return ExitCode::from(2);
+    }
+
+    let diags = hermit_analysis::analyze(&ws);
+    let open = hermit_analysis::unannotated(&diags);
+    let allowed = diags.len() - open.len();
+
+    for d in &open {
+        println!("{d}");
+    }
+    if verbose {
+        for d in diags.iter().filter(|d| d.allowed.is_some()) {
+            println!("{d} (allowed: {})", d.allowed.as_deref().unwrap_or(""));
+        }
+    }
+    eprintln!(
+        "hermit-lint: {} file(s), {} finding(s), {} allowed by annotation",
+        ws.files.len(),
+        open.len(),
+        allowed
+    );
+
+    if deny_all && !open.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,417 @@
+//! A hand-rolled Rust lexer — the zero-dependency substrate of every
+//! `hermit-lint` rule.
+//!
+//! This is deliberately **not** a full Rust front end (no `syn`, per the
+//! workspace's offline-shim policy): it produces a flat token stream with
+//! line numbers, which is exactly enough for the lexical pattern matching
+//! the rules do. It must, however, get the *hard* lexical problems right,
+//! or every downstream rule silently derails:
+//!
+//! * comments (line, nested block) — carried as tokens because the
+//!   `// hermit-lint: allow(…)` escape hatch lives in them;
+//! * string/char/byte literals, including raw strings with `#` fences —
+//!   a `{` inside a string must never open a scope;
+//! * lifetimes vs char literals (`'a` vs `'a'`);
+//! * numbers vs range expressions (`0..n` is *not* a float).
+//!
+//! Compound operators (`=>`, `::`, `..`, …) are lexed as single tokens so
+//! rules can match statement boundaries without reassembling them.
+
+/// Token classification. Coarse on purpose: rules match on `Ident` text
+/// and single punctuation, not on a full grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `let`, `read`, …).
+    Ident,
+    /// `'lifetime` (including `'static`, `'_`).
+    Lifetime,
+    /// Integer or float literal.
+    Number,
+    /// String / raw-string / byte-string literal (text excludes quotes).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Punctuation / operator, possibly multi-character (`=>`, `::`).
+    Punct,
+    /// `// …` comment (text is the full comment body after `//`).
+    LineComment,
+    /// `/* … */` comment (nesting handled; text is the interior).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Token text; for `Str`/`Char` the interior, for comments the body.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "=>", "==", "!=", "<=", ">=", "->", "::", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lex `src` into a token stream. Unterminated constructs are closed at
+/// end of input rather than reported — the analyzer lints code that `cargo
+/// build` already accepted, so error recovery would be dead weight (and
+/// deliberately-broken fixtures still lex predictably).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            if b[i + 1] == '/' {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            if b[i + 1] == '*' {
+                let tok_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: b[start..end].iter().collect(),
+                    line: tok_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Raw strings and raw/byte identifiers: r"…", r#"…"#, br#"…"#, b"…",
+        // r#ident.
+        if c == 'r' || c == 'b' {
+            // Determine the prefix shape without consuming.
+            let mut j = i + 1;
+            let mut saw_r = c == 'r';
+            if c == 'b' && j < b.len() && b[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            }
+            if saw_r {
+                // Count fence hashes.
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    let tok_line = line;
+                    let start = j + 1;
+                    let mut k = start;
+                    'scan: while k < b.len() {
+                        if b[k] == '\n' {
+                            line += 1;
+                        }
+                        if b[k] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && k + 1 + h < b.len() && b[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                out.push(Token {
+                                    kind: TokenKind::Str,
+                                    text: b[start..k].iter().collect(),
+                                    line: tok_line,
+                                });
+                                i = k + 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        k += 1;
+                    }
+                    if k >= b.len() {
+                        out.push(Token {
+                            kind: TokenKind::Str,
+                            text: b[start..].iter().collect(),
+                            line: tok_line,
+                        });
+                        i = b.len();
+                    }
+                    continue;
+                }
+                if hashes > 0 && j < b.len() && is_ident_start(b[j]) {
+                    // Raw identifier `r#ident`.
+                    let start = j;
+                    let mut k = start;
+                    while k < b.len() && is_ident_cont(b[k]) {
+                        k += 1;
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Ident,
+                        text: b[start..k].iter().collect(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // Not a raw construct after all: fall through to ident.
+            }
+            if c == 'b' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '\'') {
+                // Byte string / byte char: delegate to the quoted scanners
+                // below by skipping the `b` prefix.
+                i += 1;
+                // fall through to the quote handling with the same loop
+                // iteration semantics: emit here directly.
+                if b[i] == '"' {
+                    let (tok, ni, nl) = scan_string(&b, i, line);
+                    out.push(tok);
+                    i = ni;
+                    line = nl;
+                } else {
+                    let (tok, ni) = scan_char(&b, i, line);
+                    out.push(tok);
+                    i = ni;
+                }
+                continue;
+            }
+        }
+        // Strings.
+        if c == '"' {
+            let (tok, ni, nl) = scan_string(&b, i, line);
+            out.push(tok);
+            i = ni;
+            line = nl;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < b.len() && (is_ident_start(b[i + 1])) {
+                let mut j = i + 2;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j >= b.len() || b[j] != '\'' {
+                    out.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            let (tok, ni) = scan_char(&b, i, line);
+            out.push(tok);
+            i = ni;
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i + 1;
+            while j < b.len() && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            out.push(Token { kind: TokenKind::Ident, text: b[start..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Numbers. `0..n` must stop before the range operator.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            while j < b.len() {
+                let d = b[j];
+                if d.is_alphanumeric() || d == '_' {
+                    j += 1;
+                } else if d == '.' {
+                    // Part of the number only if followed by a digit
+                    // (1.5) — not `..` (range) and not `.method()`.
+                    if j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                } else if (d == '+' || d == '-') && matches!(b[j - 1], 'e' | 'E') {
+                    // Exponent sign (1e-3).
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token { kind: TokenKind::Number, text: b[start..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Operators, longest first.
+        let mut matched = false;
+        for op in OPERATORS {
+            let n = op.len();
+            if i + n <= b.len() && b[i..i + n].iter().collect::<String>() == **op {
+                out.push(Token { kind: TokenKind::Punct, text: (*op).to_string(), line });
+                i += n;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Single-character punctuation.
+        out.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+/// Scan a `"…"` string starting at the opening quote. Returns the token,
+/// the index past the closing quote, and the updated line counter.
+fn scan_string(b: &[char], start_quote: usize, mut line: u32) -> (Token, usize, u32) {
+    let tok_line = line;
+    let start = start_quote + 1;
+    let mut j = start;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => break,
+            '\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let end = j.min(b.len());
+    let tok = Token { kind: TokenKind::Str, text: b[start..end].iter().collect(), line: tok_line };
+    (tok, (j + 1).min(b.len()), line)
+}
+
+/// Scan a `'…'` char literal starting at the opening quote. Returns the
+/// token and the index past the closing quote.
+fn scan_char(b: &[char], start_quote: usize, line: u32) -> (Token, usize) {
+    let start = start_quote + 1;
+    let mut j = start;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\'' => break,
+            _ => j += 1,
+        }
+    }
+    let end = j.min(b.len());
+    let tok = Token { kind: TokenKind::Char, text: b[start..end].iter().collect(), line };
+    (tok, (j + 1).min(b.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_tokenize() {
+        let toks = kinds(r#"let s = "a { b } c"; x"#);
+        assert!(toks.iter().all(|(k, t)| *k != TokenKind::Punct || (t != "{" && t != "}")));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; y"###);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("quote")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "x"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "\\'"));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..n { a[i]; } let f = 1.5e-3;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "1.5e-3"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let toks = lex("a\n/* x /* y */ z */\nb");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn compound_operators_lex_whole() {
+        let toks = kinds("match x { Some(_) => a::b, _ => c }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == "=>"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == "::"));
+    }
+
+    #[test]
+    fn line_comments_carry_text() {
+        let toks = lex("x // hermit-lint: allow(panic-free) reason here\ny");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::LineComment && t.text.contains("hermit-lint")));
+    }
+}

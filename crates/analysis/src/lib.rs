@@ -1,0 +1,194 @@
+#![forbid(unsafe_code)]
+//! `hermit_analysis` — the workspace's own static analyzer, exposed as the
+//! `hermit-lint` binary.
+//!
+//! The engine's correctness arguments rest on invariants the compiler
+//! cannot see: the latch acquisition order that makes the concurrency
+//! story deadlock-free, the pairing of every durability syscall with a
+//! crash-injection point, panic-freedom on the byte-parsing path, and the
+//! write-new/fsync/rename recipe for atomic file replacement. This crate
+//! checks them on every CI run, with zero crates.io dependencies — a
+//! hand-rolled lexer ([`lexer`]) and a function-scope walker ([`scope`])
+//! instead of `syn`, per the workspace's offline-shim policy.
+//!
+//! # Rule families
+//!
+//! | rule id | scope | invariant |
+//! |---|---|---|
+//! | `latch-order` | `crates/core/src` | nested acquisitions follow [`hermit_core::latches::LATCH_HIERARCHY`] |
+//! | `latch-hold-io` | `crates/core/src` | only `io_safe` latches are held across fsync / WAL appends |
+//! | `fault-coverage` | `crates/storage/src` | every durability syscall has a `fault_point` in its function |
+//! | `fault-unique` | `crates/storage/src` | fault site names identify exactly one call site |
+//! | `fault-matrix` | `crates/storage/src` | site names equal [`hermit_fault::CRASH_MATRIX_SITES`] |
+//! | `fsync-before-rename` | `crates/storage/src` | `rename` is preceded by an fsync in the same function |
+//! | `panic-free` | proto/server/client + `crates/txn` | no `unwrap`/`expect`/panicking macros/direct indexing |
+//! | `forbid-unsafe` | roster crate roots | `#![forbid(unsafe_code)]` stays in place |
+//!
+//! Suppression is per-line and reasoned: `// hermit-lint: allow(rule-id)
+//! why this one is fine` on the finding line or the line above. A missing
+//! reason is itself a finding (`bad-annotation`) and cannot be allowed.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use diag::{apply_annotations, collect_annotations, Diagnostic};
+use std::io;
+use std::path::Path;
+
+/// The serving-path files under the `panic-free` rule.
+const PANIC_FILES: &[&str] =
+    &["crates/server/src/client.rs", "crates/server/src/proto.rs", "crates/server/src/server.rs"];
+
+/// An in-memory view of the workspace's Rust sources.
+///
+/// Files are `(workspace-relative path, text)` pairs with `/` separators.
+/// The set is plain data on purpose: tests build synthetic workspaces
+/// directly, and mutation tests load the real workspace, edit one file's
+/// text in place (e.g. strip a `fault_point`), and assert the lint fails.
+pub struct Workspace {
+    /// Sorted by path for deterministic output.
+    pub files: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Load every `.rs` file under `<root>/src` and `<root>/crates/*/src`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        collect_rs(&root.join("src"), root, &mut files)?;
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)?.collect::<Result<_, _>>()?;
+            entries.sort_by_key(|e| e.file_name());
+            for e in entries {
+                collect_rs(&e.path().join("src"), root, &mut files)?;
+            }
+        }
+        files.sort();
+        Ok(Workspace { files })
+    }
+
+    /// Mutable access to one file's text, for mutation tests.
+    pub fn file_mut(&mut self, path: &str) -> Option<&mut String> {
+        self.files.iter_mut().find(|(p, _)| p == path).map(|(_, t)| t)
+    }
+}
+
+/// Recursively gather `.rs` files under `dir`, storing root-relative paths.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, root, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, std::fs::read_to_string(&p)?));
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over the workspace. Returns **all** findings, including
+/// annotation-suppressed ones (`allowed == Some(reason)`); callers decide
+/// what to surface. Output is sorted by `(file, line, rule)`.
+pub fn analyze(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut all: Vec<Diagnostic> = Vec::new();
+    let mut fault_sites: Vec<rules::fault::FaultSite> = Vec::new();
+    let mut annotations: Vec<(String, Vec<diag::Annotation>)> = Vec::new();
+    // Where CRASH_MATRIX_SITES is declared, for anchoring stale-entry
+    // findings; falls back to the file path at line 1.
+    let mut matrix_decl = ("crates/fault/src/lib.rs".to_string(), 1u32);
+
+    for (path, text) in &ws.files {
+        let tokens = lexer::lex(text);
+
+        if path == "crates/fault/src/lib.rs" {
+            if let Some(t) = tokens.iter().find(|t| t.is_ident("CRASH_MATRIX_SITES")) {
+                matrix_decl.1 = t.line;
+            }
+        }
+
+        // Annotations (and malformed-annotation findings) are collected
+        // everywhere — the escape hatch's integrity is workspace-wide.
+        let (anns, bad) = collect_annotations(path, &tokens);
+        all.extend(bad);
+
+        let in_latch = path.starts_with("crates/core/src/");
+        let in_fault = path.starts_with("crates/storage/src/");
+        let in_panic = PANIC_FILES.contains(&path.as_str()) || path.starts_with("crates/txn/src/");
+        if in_latch || in_fault || in_panic {
+            let funcs = scope::functions(&tokens);
+            let mut file_diags: Vec<Diagnostic> = Vec::new();
+            for f in funcs.iter().filter(|f| !f.is_test) {
+                if in_latch {
+                    rules::latch::check_function(path, &tokens, f, &mut file_diags);
+                }
+                if in_fault {
+                    rules::fault::check_function(
+                        path,
+                        &tokens,
+                        f,
+                        &mut fault_sites,
+                        &mut file_diags,
+                    );
+                }
+                if in_panic {
+                    rules::panic::check_function(path, &tokens, f, &mut file_diags);
+                }
+            }
+            apply_annotations(&mut file_diags, &anns);
+            all.extend(file_diags);
+        }
+        if !anns.is_empty() {
+            annotations.push((path.clone(), anns));
+        }
+    }
+
+    // Global passes; their findings honor annotations in the anchor file.
+    let mut global: Vec<Diagnostic> = Vec::new();
+    rules::fault::check_global(&fault_sites, (&matrix_decl.0, matrix_decl.1), &mut global);
+    rules::unsafe_attr::check(&ws.files, &mut global);
+    for (path, anns) in &annotations {
+        let mut in_file: Vec<&mut Diagnostic> =
+            global.iter_mut().filter(|d| &d.file == path).collect();
+        apply_annotations_refs(&mut in_file, anns);
+    }
+    all.extend(global);
+
+    all.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    all
+}
+
+/// `apply_annotations` over a borrowed selection of diagnostics.
+fn apply_annotations_refs(diags: &mut [&mut Diagnostic], anns: &[diag::Annotation]) {
+    for d in diags.iter_mut() {
+        if d.allowed.is_some() {
+            continue;
+        }
+        for a in anns {
+            if a.rule == Some(d.rule) && (a.line == d.line || a.line + 1 == d.line) {
+                d.allowed = Some(a.reason.clone());
+                break;
+            }
+        }
+    }
+}
+
+/// The findings `--deny-all` counts: everything without an annotation.
+pub fn unannotated(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+    diags.iter().filter(|d| d.allowed.is_none()).collect()
+}

@@ -1,0 +1,281 @@
+//! `latch-order` and `latch-hold-io`: enforce the canonical latch
+//! hierarchy ([`hermit_core::latches::LATCH_HIERARCHY`]) over
+//! `crates/core`.
+//!
+//! # Model
+//!
+//! Acquisitions are recognized lexically: `recv.read()` / `recv.write()` /
+//! `recv.lock()` where `recv`'s final path segment is a declared receiver,
+//! or a declared no-argument guard-returning method (`wal_guard()`,
+//! `composites_mut()`, …). Guard lifetime uses the same heuristic a
+//! reviewer applies when scanning a diff:
+//!
+//! * `let g = x.read();` — **held** to the end of the enclosing block
+//!   (or an explicit `drop(g)`);
+//! * anything else (`x.read().get(k)`, guards built inside match arms or
+//!   tuples) — **transient**, live to the end of the current statement.
+//!
+//! The heuristic under-approximates (a guard smuggled through a tuple
+//! into a long-lived binding is tracked only to its statement), so it can
+//! miss a violation, but it does not invent one — the right bias for a
+//! linter gating CI. Within any tracked window the rules are exact:
+//! acquiring a latch that ranks at-or-above a held one is `latch-order`,
+//! and a call that reaches the device (`sync_all`, WAL `append`, …) while
+//! a non-`io_safe` latch is held is `latch-hold-io`.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::{Token, TokenKind};
+use crate::scope::Func;
+use hermit_core::latches::{level_for_method, level_for_receiver, LatchLevel, LATCH_HIERARCHY};
+
+/// Calls that reach the device: fsync family plus the WAL append/log
+/// family. Holding a data latch across one of these stalls every reader
+/// behind storage latency.
+const IO_CALLS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "sync_dir",
+    "append",
+    "append_txn_commit",
+    "append_txn_abort",
+    "log_insert",
+    "log_delete",
+    "log_txn_begin",
+    "log_txn_commit",
+    "log_txn_abort",
+];
+
+/// One recognized latch acquisition inside a function.
+struct Acquisition {
+    level: &'static LatchLevel,
+    /// Receiver or method name, for messages.
+    via: String,
+    /// Position (into the effective token vec) of the receiver/method.
+    pos: usize,
+    line: u32,
+    /// Exclusive end of the guard's tracked lifetime.
+    scope_end: usize,
+}
+
+/// Render the declared order for diagnostics.
+fn order_string() -> String {
+    LATCH_HIERARCHY.iter().map(|l| l.name).collect::<Vec<_>>().join(" -> ")
+}
+
+/// Run both latch rules over one function of a `crates/core` file.
+pub fn check_function(file: &str, tokens: &[Token], func: &Func, out: &mut Vec<Diagnostic>) {
+    // Effective tokens: the function body minus nested fns and comments.
+    let eff: Vec<usize> = func
+        .body_indices()
+        .filter(|&i| !matches!(tokens[i].kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let tok = |p: usize| -> &Token { &tokens[eff[p]] };
+
+    // --- Pass 1: find acquisitions. ---
+    let mut acqs: Vec<Acquisition> = Vec::new();
+    let mut p = 0usize;
+    while p + 3 < eff.len() {
+        if !tok(p).is_punct(".") {
+            p += 1;
+            continue;
+        }
+        let m = tok(p + 1);
+        if m.kind != TokenKind::Ident || !tok(p + 2).is_punct("(") || !tok(p + 3).is_punct(")") {
+            p += 1;
+            continue;
+        }
+        let (level, via) = if matches!(m.text.as_str(), "read" | "write" | "lock") {
+            // Receiver = identifier directly before the dot.
+            if p == 0 || tok(p - 1).kind != TokenKind::Ident {
+                p += 1;
+                continue;
+            }
+            let recv = tok(p - 1).text.clone();
+            match level_for_receiver(&recv) {
+                Some(l) => (l, recv),
+                None => {
+                    p += 1;
+                    continue;
+                }
+            }
+        } else {
+            match level_for_method(&m.text) {
+                Some(l) => (l, m.text.clone()),
+                None => {
+                    p += 1;
+                    continue;
+                }
+            }
+        };
+        let call_end = p + 3; // the `)`
+        let scope_end = guard_scope_end(&eff, tokens, p, call_end);
+        acqs.push(Acquisition { level, via, pos: p + 1, line: m.line, scope_end });
+        p = call_end + 1;
+    }
+
+    // --- Pass 2: order violations. ---
+    for (i, a) in acqs.iter().enumerate() {
+        for b in &acqs[..i] {
+            if a.pos > b.pos && a.pos < b.scope_end && a.level.rank < b.level.rank {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: a.line,
+                    rule: RuleId::LatchOrder,
+                    message: format!(
+                        "fn `{}` acquires `{}` ({}, rank {}) while holding `{}` ({}, rank {}); \
+                         declared order: {}",
+                        func.name,
+                        a.via,
+                        a.level.name,
+                        a.level.rank,
+                        b.via,
+                        b.level.name,
+                        b.level.rank,
+                        order_string()
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+
+    // --- Pass 3: non-io_safe guards held across device calls. ---
+    for p in 0..eff.len() {
+        let t = tok(p);
+        if t.kind != TokenKind::Ident
+            || !IO_CALLS.contains(&t.text.as_str())
+            || p + 1 >= eff.len()
+            || !tok(p + 1).is_punct("(")
+        {
+            continue;
+        }
+        // Skip the definitions themselves (`fn sync_dir(` …).
+        if p > 0 && tok(p - 1).is_ident("fn") {
+            continue;
+        }
+        for a in &acqs {
+            if !a.level.io_safe && p > a.pos && p < a.scope_end {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: RuleId::LatchHoldIo,
+                    message: format!(
+                        "fn `{}` calls `{}` while holding `{}` ({}); only the quiesce latch and \
+                         the WAL guard may be held across durability I/O",
+                        func.name, t.text, a.via, a.level.name
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+}
+
+/// Compute the exclusive end position of a guard's tracked lifetime.
+///
+/// Held (`let g = …read();` — the acquisition terminates the initializer):
+/// to the end of the enclosing block, cut short by `drop(g)`. Transient:
+/// to the end of the current statement (`;`), or the opening of a trailing
+/// block / end of the enclosing group, whichever comes first.
+fn guard_scope_end(eff: &[usize], tokens: &[Token], acq_pos: usize, call_end: usize) -> usize {
+    let tok = |p: usize| -> &Token { &tokens[eff[p]] };
+
+    // Chain end: the next token after `)` (skipping `?`) must close the
+    // statement for the guard itself to be what's bound.
+    let mut after = call_end + 1;
+    if after < eff.len() && tok(after).is_punct("?") {
+        after += 1;
+    }
+    let chain_ends_stmt = after < eff.len() && tok(after).is_punct(";");
+
+    // Does the current statement begin with `let`? Walk backwards to the
+    // statement boundary, skipping complete groups.
+    let mut stmt_start = 0usize;
+    let mut c = 0usize;
+    let mut q = acq_pos;
+    while q > 0 {
+        q -= 1;
+        let t = tok(q);
+        if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            c += 1;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            c = c.saturating_sub(1);
+        } else if t.is_punct("{") {
+            if c == 0 {
+                stmt_start = q + 1;
+                break;
+            }
+            c -= 1;
+        } else if c == 0 && (t.is_punct(";") || t.is_punct("=>") || t.is_punct(",")) {
+            stmt_start = q + 1;
+            break;
+        }
+    }
+    let is_let = tok(stmt_start).is_ident("let");
+
+    if is_let && chain_ends_stmt {
+        // Binding name for `drop(g)` detection: `let [mut] name = …`.
+        let mut n = stmt_start + 1;
+        if n < eff.len() && tok(n).is_ident("mut") {
+            n += 1;
+        }
+        let bind = (tok(n).kind == TokenKind::Ident).then(|| tok(n).text.clone());
+
+        // Enclosing block end: first unmatched `}` after the acquisition.
+        let mut depth = 0usize;
+        let mut p = call_end + 1;
+        while p < eff.len() {
+            let t = tok(p);
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth == 0 {
+                if let Some(name) = &bind {
+                    // `drop(name)` ends the hold early.
+                    if t.is_ident("drop")
+                        && p + 2 < eff.len()
+                        && tok(p + 1).is_punct("(")
+                        && tok(p + 2).is_ident(name)
+                    {
+                        return p;
+                    }
+                }
+            }
+            p += 1;
+        }
+        p
+    } else {
+        // Transient: to the end of the current statement.
+        let mut c = 0usize;
+        let mut p = call_end + 1;
+        while p < eff.len() {
+            let t = tok(p);
+            if t.is_punct("(") || t.is_punct("[") {
+                c += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                if c == 0 {
+                    break; // exiting the enclosing group
+                }
+                c -= 1;
+            } else if t.is_punct("{") {
+                if c == 0 {
+                    break; // trailing block opens: condition temporaries die
+                }
+                c += 1;
+            } else if t.is_punct("}") {
+                if c == 0 {
+                    break;
+                }
+                c -= 1;
+            } else if c == 0 && (t.is_punct(";") || t.is_punct(",") || t.is_punct("=>")) {
+                break;
+            }
+            p += 1;
+        }
+        p
+    }
+}

@@ -1,0 +1,7 @@
+//! The four rule families. Each module documents its own model; the
+//! dispatch (which files each family sees) lives in [`crate::analyze`].
+
+pub mod fault;
+pub mod latch;
+pub mod panic;
+pub mod unsafe_attr;

@@ -1,0 +1,105 @@
+//! `panic-free`: deny panicking constructs on the hostile-input path.
+//!
+//! The wire protocol (`crates/server/src/{proto,server,client}.rs`) parses
+//! bytes from untrusted peers, and `crates/txn` sits under every statement
+//! a connection runs — a reachable panic in either is a remote
+//! denial-of-service. This rule denies `unwrap()` / `expect()`, the
+//! panicking macros, and direct slice indexing (`buf[i]`, `&buf[a..b]`)
+//! in those files; checked alternatives (`get`, `split_at` on verified
+//! lengths, `try_into` with a mapped error) always exist.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::{Token, TokenKind};
+use crate::scope::Func;
+
+/// Macros whose expansion is an unconditional panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can precede `[` without it being an index expression
+/// (`let [a, b] = …` slice patterns, `&mut [0u8; 4]` array literals, …).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+/// Run the rule over one function of an in-scope file.
+pub fn check_function(file: &str, tokens: &[Token], func: &Func, out: &mut Vec<Diagnostic>) {
+    let eff: Vec<usize> = func
+        .body_indices()
+        .filter(|&i| !matches!(tokens[i].kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let tok = |p: usize| -> &Token { &tokens[eff[p]] };
+    let mut push = |line: u32, message: String| {
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: RuleId::PanicFree,
+            message,
+            allowed: None,
+        });
+    };
+
+    for p in 0..eff.len() {
+        let t = tok(p);
+        match t.kind {
+            TokenKind::Ident => {
+                // `.unwrap(` / `.expect(` — method position only, so
+                // `unwrap_or_else` (a distinct identifier) never matches.
+                if matches!(t.text.as_str(), "unwrap" | "expect")
+                    && p > 0
+                    && tok(p - 1).is_punct(".")
+                    && p + 1 < eff.len()
+                    && tok(p + 1).is_punct("(")
+                {
+                    push(
+                        t.line,
+                        format!(
+                            "fn `{}` calls `{}()` on the hostile-input path; propagate a typed \
+                             error instead",
+                            func.name, t.text
+                        ),
+                    );
+                }
+                // `panic!(` and friends.
+                if PANIC_MACROS.contains(&t.text.as_str())
+                    && p + 1 < eff.len()
+                    && tok(p + 1).is_punct("!")
+                {
+                    push(
+                        t.line,
+                        format!(
+                            "fn `{}` invokes `{}!`; a malformed frame must surface as an error, \
+                             not a panic",
+                            func.name, t.text
+                        ),
+                    );
+                }
+            }
+            TokenKind::Punct if t.text == "[" && p > 0 => {
+                // Index expression: `expr[`, where expr ends in a
+                // non-keyword identifier, `)`, or `]`. Attributes (`#[`),
+                // macros (`vec![`), types (`: [u8; 8]`), and slice
+                // patterns (`let [a, b]`) all fail this test.
+                let prev = tok(p - 1);
+                let is_index = match prev.kind {
+                    TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                    TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                if is_index {
+                    push(
+                        t.line,
+                        format!(
+                            "fn `{}` indexes a slice directly; use `get(..)` or a checked split \
+                             so short input cannot panic",
+                            func.name
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

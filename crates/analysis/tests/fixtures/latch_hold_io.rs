@@ -1,0 +1,26 @@
+// Fixture for the `latch-hold-io` rule. Not compiled — lexed by the test
+// suite under a virtual `crates/core/src/` path.
+
+/// BAD: primary-index latch (not io_safe) held across an fsync.
+fn fsync_under_primary(db: &Db) -> io::Result<()> {
+    let primary = db.primary.write();
+    db.file.sync_all()?;
+    consume(primary);
+    Ok(())
+}
+
+/// GOOD: the WAL guard is declared io_safe — holding it across the append
+/// is the whole point of the guard.
+fn append_under_wal(db: &Db) -> io::Result<()> {
+    let w = db.wal.lock();
+    w.append(&db.record)?;
+    Ok(())
+}
+
+/// GOOD: transient read ends at its statement; the fsync after it is fine.
+fn transient_then_fsync(db: &Db) -> io::Result<()> {
+    let n = db.primary.read().len();
+    db.file.sync_all()?;
+    consume(n);
+    Ok(())
+}

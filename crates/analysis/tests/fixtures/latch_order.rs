@@ -1,0 +1,32 @@
+// Fixture for the `latch-order` rule. Not compiled — lexed by the test
+// suite under a virtual `crates/core/src/` path.
+
+/// BAD: heap latch (rank 60) held while taking the primary index (rank 50).
+fn out_of_order(db: &Db) {
+    let table = db.table.read();
+    let primary = db.primary.read();
+    consume(table, primary);
+}
+
+/// GOOD: same latches, declared order (primary before heap).
+fn in_order(db: &Db) {
+    let primary = db.primary.read();
+    let table = db.table.read();
+    consume(primary, table);
+}
+
+/// GOOD: dropping the outer guard before re-acquiring lower is legal.
+fn drop_then_reacquire(db: &Db) {
+    let table = db.table.read();
+    let n = table.len();
+    drop(table);
+    let primary = db.primary.read();
+    consume(primary, n);
+}
+
+/// BAD: guard-returning method while holding the primary index.
+fn registry_under_primary(db: &Db) {
+    let primary = db.primary.write();
+    let composites = db.composites_mut();
+    consume(primary, composites);
+}

@@ -1,0 +1,41 @@
+// Fixture for the `panic-free` rule. Not compiled — lexed by the test
+// suite under the virtual path `crates/server/src/proto.rs`.
+
+/// BAD: one finding per line (unwrap, expect, panic!, unreachable!,
+/// indexing by expression, indexing after a call).
+fn hostile_path(buf: &[u8], opt: Option<u8>) -> u8 {
+    let a = opt.unwrap();
+    let b = opt.expect("present");
+    if buf.is_empty() {
+        panic!("empty");
+    }
+    match a {
+        0 => unreachable!(),
+        _ => {}
+    }
+    let c = buf[0];
+    let d = make_vec()[1];
+    a + b + c + d
+}
+
+/// GOOD: checked alternatives for each construct above.
+fn checked_path(buf: &[u8], opt: Option<u8>) -> Result<u8, ProtoError> {
+    let a = opt.ok_or(ProtoError::Malformed("missing"))?;
+    let b = opt.unwrap_or_default();
+    let c = buf.get(0).copied().ok_or(ProtoError::Malformed("short"))?;
+    let [d] = fixed::<1>(buf)?;
+    Ok(a + b + c + d)
+}
+
+/// GOOD (annotated): a justified exception stays visible but allowed.
+fn annotated_exception(buf: &[u8]) -> u8 {
+    // hermit-lint: allow(panic-free) fixture demonstrating the escape hatch
+    buf[0]
+}
+
+/// BAD: an allow without a reason is itself a finding and suppresses
+/// nothing.
+fn unjustified_exception(buf: &[u8]) -> u8 {
+    // hermit-lint: allow(panic-free)
+    buf[0]
+}

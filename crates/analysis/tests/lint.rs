@@ -1,0 +1,201 @@
+//! hermit-lint end-to-end tests: golden fixtures proving each rule fires
+//! (and stays quiet on the good twin), a self-check that the real
+//! workspace is clean, and mutation tests proving the lint actually
+//! guards the invariants it claims to (edit the real sources in memory,
+//! watch it fail).
+
+use hermit_analysis::diag::{Diagnostic, RuleId};
+use hermit_analysis::{analyze, unannotated, Workspace};
+use std::path::{Path, PathBuf};
+
+/// A synthetic workspace from `(virtual path, source)` pairs.
+fn synthetic(files: &[(&str, &str)]) -> Workspace {
+    Workspace { files: files.iter().map(|(p, t)| ((*p).to_string(), (*t).to_string())).collect() }
+}
+
+/// Findings of one rule, unannotated only.
+fn of_rule(diags: &[Diagnostic], rule: RuleId) -> Vec<Diagnostic> {
+    diags.iter().filter(|d| d.allowed.is_none() && d.rule == rule).cloned().collect()
+}
+
+fn mentions(diags: &[Diagnostic], needle: &str) -> bool {
+    diags.iter().any(|d| d.message.contains(needle))
+}
+
+// ---------------------------------------------------------------- latch
+
+#[test]
+fn latch_order_fires_on_reordered_nesting() {
+    let ws = synthetic(&[("crates/core/src/fixture.rs", include_str!("fixtures/latch_order.rs"))]);
+    let got = of_rule(&analyze(&ws), RuleId::LatchOrder);
+    assert_eq!(got.len(), 2, "expected the two bad fns to fire: {got:?}");
+    assert!(mentions(&got, "out_of_order"));
+    assert!(mentions(&got, "registry_under_primary"));
+    assert!(!mentions(&got, "in_order"));
+    assert!(!mentions(&got, "drop_then_reacquire"));
+}
+
+#[test]
+fn latch_hold_io_fires_only_on_non_io_safe_guards() {
+    let ws =
+        synthetic(&[("crates/core/src/fixture.rs", include_str!("fixtures/latch_hold_io.rs"))]);
+    let got = of_rule(&analyze(&ws), RuleId::LatchHoldIo);
+    assert_eq!(got.len(), 1, "only the primary-held fsync should fire: {got:?}");
+    assert!(mentions(&got, "fsync_under_primary"));
+}
+
+#[test]
+fn latch_rules_do_not_run_outside_core() {
+    // The same bad source under a non-core path is out of scope.
+    let ws = synthetic(&[("crates/trs/src/fixture.rs", include_str!("fixtures/latch_order.rs"))]);
+    let diags = analyze(&ws);
+    assert!(of_rule(&diags, RuleId::LatchOrder).is_empty());
+}
+
+// ---------------------------------------------------------------- fault
+
+#[test]
+fn fault_coverage_unique_and_fsync_rules_fire() {
+    let ws =
+        synthetic(&[("crates/storage/src/fixture.rs", include_str!("fixtures/fault_rules.rs"))]);
+    let diags = analyze(&ws);
+
+    let cov = of_rule(&diags, RuleId::FaultCoverage);
+    assert_eq!(cov.len(), 1, "{cov:?}");
+    assert!(mentions(&cov, "write_meta_uncovered"));
+
+    let uniq = of_rule(&diags, RuleId::FaultUnique);
+    assert_eq!(uniq.len(), 1, "{uniq:?}");
+    assert!(mentions(&uniq, "fixture.meta"));
+
+    let fsr = of_rule(&diags, RuleId::FsyncBeforeRename);
+    assert_eq!(fsr.len(), 1, "{fsr:?}");
+    assert!(mentions(&fsr, "publish_unsynced"));
+}
+
+#[test]
+fn fault_matrix_flags_sites_missing_from_the_const() {
+    let ws = synthetic(&[(
+        "crates/storage/src/fixture.rs",
+        r#"fn f(x: &File) -> io::Result<()> {
+            if fault_point("not.in.matrix") == FaultAction::Error { return Err(e()); }
+            x.sync_all()
+        }"#,
+    )]);
+    let got = of_rule(&analyze(&ws), RuleId::FaultMatrix);
+    assert!(mentions(&got, "not.in.matrix"), "{got:?}");
+}
+
+// ---------------------------------------------------------------- panic
+
+#[test]
+fn panic_free_fires_per_construct_and_honors_annotations() {
+    let ws = synthetic(&[("crates/server/src/proto.rs", include_str!("fixtures/panic_free.rs"))]);
+    let diags = analyze(&ws);
+
+    let got = of_rule(&diags, RuleId::PanicFree);
+    // hostile_path: unwrap, expect, panic!, unreachable!, buf[0],
+    // make_vec()[1]; unjustified_exception: buf[0]. The annotated buf[0]
+    // in annotated_exception is suppressed.
+    assert_eq!(got.len(), 7, "{got:?}");
+    assert!(mentions(&got, "hostile_path"));
+    assert!(mentions(&got, "unjustified_exception"));
+    assert!(!mentions(&got, "checked_path"));
+    assert!(!mentions(&got, "annotated_exception"));
+
+    // The reasonless allow is itself flagged and suppressed nothing.
+    assert_eq!(of_rule(&diags, RuleId::BadAnnotation).len(), 1);
+    // The justified allow shows up as an allowed finding.
+    assert!(diags.iter().any(|d| d.rule == RuleId::PanicFree
+        && d.allowed.as_deref() == Some("fixture demonstrating the escape hatch")));
+}
+
+#[test]
+fn panic_free_ignores_test_code() {
+    let ws = synthetic(&[(
+        "crates/txn/src/fixture.rs",
+        "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n",
+    )]);
+    assert!(of_rule(&analyze(&ws), RuleId::PanicFree).is_empty());
+}
+
+// -------------------------------------------------------------- unsafe
+
+#[test]
+fn forbid_unsafe_fires_when_attribute_is_missing() {
+    let mut files: Vec<(&str, String)> = hermit_analysis::rules::unsafe_attr::FORBID_ROSTER
+        .iter()
+        .map(|p| (*p, "#![forbid(unsafe_code)]\npub fn ok() {}\n".to_string()))
+        .collect();
+    // Strip the attribute from one crate root.
+    files[3].1 = "pub fn ok() {}\n".to_string();
+    let ws = Workspace { files: files.into_iter().map(|(p, t)| (p.to_string(), t)).collect() };
+    let got = of_rule(&analyze(&ws), RuleId::ForbidUnsafe);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].file, hermit_analysis::rules::unsafe_attr::FORBID_ROSTER[3]);
+}
+
+// ----------------------------------------------------- real workspace
+
+fn repo_root() -> PathBuf {
+    // crates/analysis -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+/// The merged workspace must be clean: every rule runs, zero unannotated
+/// findings. This is the same check CI's `--deny-all` run performs.
+#[test]
+fn real_workspace_is_clean() {
+    let ws = Workspace::load(&repo_root()).unwrap();
+    assert!(ws.files.len() > 50, "workspace loader found too few files");
+    let diags = analyze(&ws);
+    let open = unannotated(&diags);
+    assert!(
+        open.is_empty(),
+        "unannotated findings in the workspace:\n{}",
+        open.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    // The storage escape hatch for the best-effort directory sync exists
+    // and carries its reason.
+    assert!(diags.iter().any(|d| d.allowed.is_some()), "expected at least one allowed finding");
+}
+
+/// Mutation: removing any fault_point from the WAL must fail the lint
+/// (coverage and/or matrix reconciliation).
+#[test]
+fn stripping_a_wal_fault_point_fails_the_lint() {
+    let mut ws = Workspace::load(&repo_root()).unwrap();
+    let wal = ws.file_mut("crates/storage/src/wal.rs").expect("wal.rs in workspace");
+    assert!(wal.contains("fault_point"), "wal.rs should declare fault points");
+    *wal = wal.replace("fault_point", "fault_point_disabled");
+    let open: Vec<RuleId> = unannotated(&analyze(&ws)).iter().map(|d| d.rule).collect();
+    assert!(
+        open.contains(&RuleId::FaultCoverage) && open.contains(&RuleId::FaultMatrix),
+        "expected coverage+matrix findings, got {open:?}"
+    );
+}
+
+/// Mutation: renaming a single site desynchronizes the crash matrix in
+/// both directions.
+#[test]
+fn renaming_a_fault_site_desyncs_the_matrix() {
+    let mut ws = Workspace::load(&repo_root()).unwrap();
+    let wal = ws.file_mut("crates/storage/src/wal.rs").expect("wal.rs in workspace");
+    assert!(wal.contains("\"wal.commit\""));
+    *wal = wal.replace("\"wal.commit\"", "\"wal.kommit\"");
+    let diags = analyze(&ws);
+    let matrix = of_rule(&diags, RuleId::FaultMatrix);
+    assert!(mentions(&matrix, "wal.kommit"), "unknown site should be flagged: {matrix:?}");
+    assert!(mentions(&matrix, "wal.commit"), "stale matrix entry should be flagged: {matrix:?}");
+}
+
+/// Mutation: dropping `#![forbid(unsafe_code)]` from a crate root fails
+/// the lint.
+#[test]
+fn dropping_forbid_unsafe_fails_the_lint() {
+    let mut ws = Workspace::load(&repo_root()).unwrap();
+    let root = ws.file_mut("crates/btree/src/lib.rs").expect("btree lib.rs");
+    *root = root.replace("#![forbid(unsafe_code)]", "");
+    let open: Vec<RuleId> = unannotated(&analyze(&ws)).iter().map(|d| d.rule).collect();
+    assert!(open.contains(&RuleId::ForbidUnsafe), "got {open:?}");
+}

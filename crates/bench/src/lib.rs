@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-bench
 //!
 //! Benchmark harness regenerating every table and figure of the Hermit

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-btree
 //!
 //! Index substrate for the Hermit reproduction: a memory-optimized B+-tree

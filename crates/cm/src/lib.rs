@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-cm
 //!
 //! **Correlation Maps** (Kimura et al., VLDB 2009) — the prior

@@ -28,6 +28,12 @@
 //!   protocol with a side buffer for writes that race a background
 //!   reorganization.
 //!
+//! The order in which these latches may nest is **not** documented here:
+//! the canonical, machine-readable declaration is
+//! [`crate::latches::LATCH_HIERARCHY`], and the `hermit-lint` static
+//! analyzer (`crates/analysis`) checks every function in this crate
+//! against it. If you add a lock site, read that module first.
+//!
 //! Structural DDL (creating indexes, changing TRS parameters) still takes
 //! `&mut self`: the index *registry* itself is not latched, which keeps
 //! every per-query lookup latch-free. Build the schema first, then share.

@@ -1,0 +1,163 @@
+//! The canonical latch hierarchy of the engine — one machine-readable
+//! declaration, consumed both by humans and by the `hermit-lint` static
+//! analyzer (`crates/analysis`).
+//!
+//! Until this module existed, the lock order lived as prose in
+//! [`crate::database`]'s module docs and in reviewer memory. Every rule
+//! below is extracted from the real acquisition paths; `hermit-lint`'s
+//! `latch-order` rule re-derives nested acquisitions from the source of
+//! `crates/core` on every CI run and flags any nesting that contradicts
+//! [`LATCH_HIERARCHY`].
+//!
+//! # The order (outermost → innermost)
+//!
+//! | rank | latch | acquired via | held across I/O? |
+//! |-----:|-------|--------------|------------------|
+//! | 10 | durability quiesce | `quiesce_read()`, `quiesce.read()`, `quiesce.write()` | yes |
+//! | 20 | WAL guard | `wal_guard()`, `wal.lock()` | yes |
+//! | 30 | composite-index registry | `composites()`, `composites_mut()`, `composites.read()`, `composites.write()` | no |
+//! | 40 | per-index latch | `tree.read()`, `tree.write()`, `host_tree.read()` | no |
+//! | 50 | primary index | `primary()`, `primary.read()`, `primary.write()` | no |
+//! | 60 | heap latch | `t.read()`, `t.write()`, `table.read()` (the `Heap::Mem` table) | no |
+//!
+//! A thread holding a latch of rank *r* may only acquire latches of rank
+//! strictly greater than *r*. The load-bearing nestings, for the record:
+//!
+//! * **DML** (`Database::insert_timed`, `delete_by_pk`, the `_txn`
+//!   variants): quiesce (read) → WAL guard, both held across the heap
+//!   apply + WAL append; the apply step then takes heap / primary /
+//!   per-index / registry latches transiently. The WAL guard sits *above*
+//!   the data latches deliberately — apply order and log order must be the
+//!   same total order (see `Durability::wal_guard` in
+//!   [`crate::recovery`]), so the guard is taken before the first heap
+//!   mutation, not at append time.
+//! * **Checkpoint** (`Database::checkpoint`): quiesce (write) → WAL guard
+//!   — the same top-of-hierarchy order as DML, which is exactly why the
+//!   two cannot deadlock.
+//! * **Composite reorganization** (`SharedDatabase::maintenance_pass`):
+//!   registry (write) → heap (read) — the rebuild scans the base table
+//!   under the registry latch so a racing insert cannot be erased.
+//! * **Query execution** (`Executor`): per-index (read) → primary (read)
+//!   → heap (read) while resolving and validating candidates.
+//!
+//! Latches *internal* to one component (buffer-pool shards, the
+//! `ConcurrentTrsTree` node latches, the transaction-table mutex, the page
+//! store's file lock) are leaves: they are acquired last, never nest with
+//! each other across components, and are not part of this declaration.
+//!
+//! # Changing the hierarchy
+//!
+//! Add or move a level here first, then make the code match. `hermit-lint`
+//! resolves acquisitions lexically (receiver name / guard-returning method
+//! name, per the `receivers`/`methods` fields), so a new latch must carry
+//! a recognizable field or method name and be declared below, or the
+//! analyzer will not see it.
+
+/// One level of the engine-wide latch hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatchLevel {
+    /// Position in the order; lower = outer. Gaps are deliberate so a
+    /// future level can slot in without renumbering.
+    pub rank: u32,
+    /// Stable human-readable name, used in diagnostics.
+    pub name: &'static str,
+    /// Final path segment of receivers whose `.read()` / `.write()` /
+    /// `.lock()` acquires this latch (`self.primary.write()` → `primary`).
+    pub receivers: &'static [&'static str],
+    /// Guard-returning no-argument methods that acquire this latch
+    /// (`d.wal_guard()` → `wal_guard`).
+    pub methods: &'static [&'static str],
+    /// Whether this latch may be held across fsync / WAL-append calls.
+    /// Only the top of the hierarchy is: the quiesce latch and the WAL
+    /// guard exist precisely to bracket durable statements. Holding a data
+    /// latch (heap, indexes) across device I/O stalls every reader behind
+    /// an fsync and is flagged by `hermit-lint`'s `latch-hold-io` rule.
+    pub io_safe: bool,
+}
+
+/// The engine-wide latch hierarchy, outermost first. See the module docs
+/// for the derivation; `hermit-lint` enforces it over `crates/core`.
+pub const LATCH_HIERARCHY: &[LatchLevel] = &[
+    LatchLevel {
+        rank: 10,
+        name: "durability-quiesce",
+        receivers: &["quiesce"],
+        methods: &["quiesce_read"],
+        io_safe: true,
+    },
+    LatchLevel {
+        rank: 20,
+        name: "wal-guard",
+        receivers: &["wal"],
+        methods: &["wal_guard"],
+        io_safe: true,
+    },
+    LatchLevel {
+        rank: 30,
+        name: "composite-registry",
+        receivers: &["composites"],
+        methods: &["composites", "composites_mut"],
+        io_safe: false,
+    },
+    LatchLevel {
+        rank: 40,
+        name: "secondary-index",
+        receivers: &["tree", "host_tree"],
+        methods: &[],
+        io_safe: false,
+    },
+    LatchLevel {
+        rank: 50,
+        name: "primary-index",
+        receivers: &["primary"],
+        methods: &["primary"],
+        io_safe: false,
+    },
+    LatchLevel { rank: 60, name: "heap", receivers: &["t", "table"], methods: &[], io_safe: false },
+];
+
+/// Look up a hierarchy level by receiver name.
+pub fn level_for_receiver(recv: &str) -> Option<&'static LatchLevel> {
+    LATCH_HIERARCHY.iter().find(|l| l.receivers.contains(&recv))
+}
+
+/// Look up a hierarchy level by guard-returning method name.
+pub fn level_for_method(method: &str) -> Option<&'static LatchLevel> {
+    LATCH_HIERARCHY.iter().find(|l| l.methods.contains(&method))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_strictly_increase_and_names_are_unique() {
+        for w in LATCH_HIERARCHY.windows(2) {
+            assert!(w[0].rank < w[1].rank, "{} must rank above {}", w[0].name, w[1].name);
+        }
+        let mut names: Vec<_> = LATCH_HIERARCHY.iter().map(|l| l.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LATCH_HIERARCHY.len());
+    }
+
+    #[test]
+    fn receivers_and_methods_are_unambiguous() {
+        let mut seen = std::collections::BTreeSet::new();
+        for l in LATCH_HIERARCHY {
+            for r in l.receivers {
+                assert!(seen.insert(("recv", *r)), "receiver {r} mapped twice");
+            }
+            for m in l.methods {
+                assert!(seen.insert(("method", *m)), "method {m} mapped twice");
+            }
+        }
+    }
+
+    #[test]
+    fn only_the_statement_brackets_are_io_safe() {
+        for l in LATCH_HIERARCHY {
+            assert_eq!(l.io_safe, l.rank <= 20, "{} io_safe flag out of policy", l.name);
+        }
+    }
+}

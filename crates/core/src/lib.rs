@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-core
 //!
 //! The **Hermit** secondary-indexing mechanism (§3/§5 of the paper), tying
@@ -46,6 +47,7 @@ pub mod database;
 pub mod error;
 pub mod executor;
 pub mod index;
+pub mod latches;
 pub mod metrics;
 pub mod plan;
 pub mod query;

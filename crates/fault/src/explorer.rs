@@ -494,3 +494,48 @@ pub fn explore(root: &Path, budget: Option<usize>) -> ExplorerReport {
     }
     ExplorerReport { total_sites: total, site_names, explored, failures }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dynamic half of the fault-site contract (the static half is
+    /// `hermit-lint`'s `fault-matrix` rule): every site the canonical
+    /// workload's schedule passes through must be declared in
+    /// [`crate::CRASH_MATRIX_SITES`], and the workload must actually reach
+    /// the durability core of the matrix. A budget of 0 runs only the
+    /// counting pass — no crash snapshots, one workload execution.
+    #[test]
+    fn crash_matrix_reconciles_with_the_explorer() {
+        let root = std::env::temp_dir().join(format!("hermit-matrix-{}", std::process::id()));
+        let report = explore(&root, Some(0));
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        for name in report.site_names.keys() {
+            assert!(
+                crate::CRASH_MATRIX_SITES.contains(&name.as_str()),
+                "schedule passed through site {name} which is not in CRASH_MATRIX_SITES"
+            );
+        }
+        for site in [
+            "wal.reset",
+            "wal.header",
+            "wal.append",
+            "wal.commit",
+            "wal.txn_commit",
+            "wal.txn_abort",
+            "atomic.write",
+            "atomic.rename",
+            "page.write",
+            "page.sync",
+        ] {
+            assert!(
+                report.site_names.contains_key(site),
+                "canonical workload never reached {site}"
+            );
+        }
+        assert!(
+            crate::CRASH_MATRIX_SITES.windows(2).all(|w| w[0] < w[1]),
+            "CRASH_MATRIX_SITES must stay sorted and deduplicated"
+        );
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit_fault
 //!
 //! Deterministic fault injection and crash-schedule exploration for the
@@ -30,3 +31,35 @@ pub use explorer::{explore, ExplorerReport, SiteFailure};
 pub use mangle::{mangle_bytes, mangle_file};
 pub use plan::{FaultKind, FaultOp, FaultPlan, FaultRates, PlannedFault};
 pub use store::FaultyPageStore;
+
+/// The crash-schedule matrix: every [`fault_point`](hermit_storage::fault_point)
+/// site name that exists in `hermit_storage`, sorted. This is the contract
+/// between the storage layer and the crash explorer — a durability I/O site
+/// may only exist if it is named here, so it can never silently escape
+/// crash testing.
+///
+/// Reconciled from both sides:
+/// * **statically** — `hermit-lint`'s `fault-matrix` rule extracts every
+///   `fault_point("…")` literal from `crates/storage` and fails CI on any
+///   difference with this list;
+/// * **dynamically** — `crash_matrix_reconciles_with_the_explorer` (this
+///   crate's tests) runs the canonical workload and checks every site the
+///   schedule passes through is declared here.
+///
+/// `wal.reopen` fires on the recovery path (torn-tail truncation), which
+/// the canonical create-from-scratch workload never takes; it is exercised
+/// by the durability suite's reopen cases instead.
+pub const CRASH_MATRIX_SITES: &[&str] = &[
+    "atomic.rename",
+    "atomic.write",
+    "page.read",
+    "page.sync",
+    "page.write",
+    "wal.append",
+    "wal.commit",
+    "wal.header",
+    "wal.reopen",
+    "wal.reset",
+    "wal.txn_abort",
+    "wal.txn_commit",
+];

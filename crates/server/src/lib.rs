@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-server
 //!
 //! The wire-protocol serving front end: everything between a TCP socket

@@ -301,41 +301,44 @@ impl<'a> Cursor<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         let end = self.pos.checked_add(n).ok_or(ProtoError::Malformed("length overflow"))?;
-        if end > self.buf.len() {
-            return Err(ProtoError::Malformed("short payload"));
-        }
-        let s = &self.buf[self.pos..end];
+        let s = self.buf.get(self.pos..end).ok_or(ProtoError::Malformed("short payload"))?;
         self.pos = end;
         Ok(s)
     }
 
+    /// `take(N)` as a fixed-size array, for the `from_le_bytes` family.
+    fn fixed<const N: usize>(&mut self) -> Result<[u8; N], ProtoError> {
+        self.take(N)?.try_into().map_err(|_| ProtoError::Malformed("short payload"))
+    }
+
     fn u8(&mut self) -> Result<u8, ProtoError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.fixed::<1>()?;
+        Ok(b)
     }
 
     fn u16(&mut self) -> Result<u16, ProtoError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.fixed()?))
     }
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.fixed()?))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.fixed()?))
     }
 
     fn i64(&mut self) -> Result<i64, ProtoError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.fixed()?))
     }
 
     fn f64(&mut self) -> Result<f64, ProtoError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.fixed()?))
     }
 
     fn cell(&mut self) -> Result<Value, ProtoError> {
         let tag = self.u8()?;
-        let body: [u8; 8] = self.take(8)?.try_into().unwrap();
+        let body: [u8; 8] = self.fixed()?;
         match tag {
             0 => Ok(Value::Null),
             1 => Ok(Value::Int(i64::from_le_bytes(body))),
@@ -591,15 +594,17 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
     let mut head = [0u8; 8];
     // Distinguish "closed before any byte" (clean EOF) from "closed inside
     // the header" (truncation): read the first byte separately.
-    match r.read(&mut head[..1]) {
+    let (first, rest) = head.split_at_mut(1);
+    match r.read(first) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
         Err(e) if e.kind() == std::io::ErrorKind::Interrupted => return read_frame(r),
         Err(e) => return Err(e.into()),
     }
-    r.read_exact(&mut head[1..])?;
-    let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    r.read_exact(rest)?;
+    let [l0, l1, l2, l3, c0, c1, c2, c3] = head;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+    let crc = u32::from_le_bytes([c0, c1, c2, c3]);
     if len > MAX_FRAME {
         return Err(ProtoError::Oversized { declared: len });
     }

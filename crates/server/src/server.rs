@@ -155,8 +155,7 @@ impl HermitServer {
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
             .name("hermit-accept".into())
-            .spawn(move || accept_loop(accept_inner, listener))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(accept_inner, listener))?;
         Ok(HermitServer { inner, addr: local, accept: Some(accept) })
     }
 

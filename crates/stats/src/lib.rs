@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-stats
 //!
 //! Statistical / ML substrate for the Hermit reproduction:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-storage
 //!
 //! Storage-engine substrate for the Hermit reproduction.

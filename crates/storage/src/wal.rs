@@ -284,6 +284,12 @@ impl WalWriter {
     /// truncated to `valid_len` (discarding a torn tail, so fresh appends
     /// never land after garbage) and the writer positions itself there.
     pub fn open_append(path: &Path, epoch: u64, valid_len: u64) -> Result<Self, RecoveryError> {
+        // Site before the truncating reopen: a crash here leaves the torn
+        // tail on disk for the *next* recovery to discard again — the
+        // operation must be idempotent.
+        if fault_point("wal.reopen") == FaultAction::Error {
+            return Err(RecoveryError::Io(std::io::Error::other(injected_error("wal.reopen"))));
+        }
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         file.set_len(valid_len)?;
         file.sync_all()?;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-trs
 //!
 //! The **Tiered Regression Search Tree** (TRS-Tree), the core data structure

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Multi-statement transaction mechanism for the Hermit engine.
 //!
 //! This crate owns the *bookkeeping* of transactions — ids, the transaction
@@ -272,7 +273,7 @@ impl TxnManager {
         }
         s.locks.insert(pk, (txn, WriteKind::Insert));
         self.dirty.store(s.locks.len(), Ordering::Release);
-        let t = s.open.get_mut(&txn).expect("checked above");
+        let t = s.open.get_mut(&txn).ok_or(TxnError::UnknownTxn { txn })?;
         t.undo.push(Undo::Insert { pk });
         t.locked.push(pk);
         Ok(())
@@ -319,8 +320,8 @@ impl TxnManager {
                 Ok(DeleteMode::OwnInsert)
             }
             None => {
+                s.open.get_mut(&txn).ok_or(TxnError::UnknownTxn { txn })?.locked.push(pk);
                 s.locks.insert(pk, (txn, WriteKind::Delete));
-                s.open.get_mut(&txn).expect("checked above").locked.push(pk);
                 self.dirty.store(s.locks.len(), Ordering::Release);
                 Ok(DeleteMode::Deferred)
             }

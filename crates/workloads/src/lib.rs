@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit-workloads
 //!
 //! The three applications of the Hermit evaluation (§7.1, Appendix A),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hermit
 //!
 //! Facade crate for the Hermit reproduction: re-exports the public API of
