@@ -17,6 +17,15 @@ pub enum RuleId {
     LatchOrder,
     /// Data latch held across an fsync / WAL-append call.
     LatchHoldIo,
+    /// A call made while holding a latch reaches an acquisition of an
+    /// equal-or-outer level somewhere down the call graph.
+    LatchOrderIp,
+    /// Non-`io_safe` latch held across a call that transitively fsyncs.
+    LatchHoldIoIp,
+    /// `Result` from a durability-path call discarded via `let _ =` / `.ok()`.
+    ErrorSwallow,
+    /// Allocation constructor inside a `hermit-lint: hot-path` function.
+    HotAlloc,
     /// Durability syscall without a `fault_point` in the same function.
     FaultCoverage,
     /// The same fault site name declared at two call sites.
@@ -39,6 +48,10 @@ impl RuleId {
         match self {
             RuleId::LatchOrder => "latch-order",
             RuleId::LatchHoldIo => "latch-hold-io",
+            RuleId::LatchOrderIp => "latch-order-ip",
+            RuleId::LatchHoldIoIp => "latch-hold-io-ip",
+            RuleId::ErrorSwallow => "error-swallow",
+            RuleId::HotAlloc => "hot-alloc",
             RuleId::FaultCoverage => "fault-coverage",
             RuleId::FaultUnique => "fault-unique",
             RuleId::FaultMatrix => "fault-matrix",
@@ -54,6 +67,10 @@ impl RuleId {
         Some(match s {
             "latch-order" => RuleId::LatchOrder,
             "latch-hold-io" => RuleId::LatchHoldIo,
+            "latch-order-ip" => RuleId::LatchOrderIp,
+            "latch-hold-io-ip" => RuleId::LatchHoldIoIp,
+            "error-swallow" => RuleId::ErrorSwallow,
+            "hot-alloc" => RuleId::HotAlloc,
             "fault-coverage" => RuleId::FaultCoverage,
             "fault-unique" => RuleId::FaultUnique,
             "fault-matrix" => RuleId::FaultMatrix,
@@ -83,8 +100,20 @@ pub struct Diagnostic {
     pub rule: RuleId,
     /// Human-readable message.
     pub message: String,
+    /// Call chain for interprocedural findings (caller first, the function
+    /// performing the flagged acquisition / I/O last). Empty for
+    /// intraprocedural rules. Rendered in the message already; carried
+    /// structurally so `--format json` can emit it as an array.
+    pub chain: Vec<String>,
     /// `Some(reason)` when an inline annotation suppressed the finding.
     pub allowed: Option<String>,
+}
+
+impl Diagnostic {
+    /// A chain-less finding — the shape every intraprocedural rule emits.
+    pub fn new(file: &str, line: u32, rule: RuleId, message: String) -> Diagnostic {
+        Diagnostic { file: file.to_string(), line, rule, message, chain: Vec::new(), allowed: None }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -106,6 +135,15 @@ pub struct Annotation {
 
 const MARKER: &str = "hermit-lint:";
 
+/// Sentinel reason for `hermit-lint: hot-path` markers (rule-less
+/// annotations that never suppress anything; see [`hot_path_lines`]).
+pub const HOT_PATH: &str = "\u{0}hot-path";
+
+/// Lines carrying a `hermit-lint: hot-path` marker.
+pub fn hot_path_lines(anns: &[Annotation]) -> Vec<u32> {
+    anns.iter().filter(|a| a.rule.is_none() && a.reason == HOT_PATH).map(|a| a.line).collect()
+}
+
 /// Extract every `hermit-lint:` annotation from a token stream, returning
 /// the annotations plus a `bad-annotation` diagnostic for each malformed
 /// one (missing reason, unknown rule, unparsable shape).
@@ -123,14 +161,16 @@ pub fn collect_annotations(file: &str, tokens: &[Token]) -> (Vec<Annotation>, Ve
         let Some(rest) = t.text.trim_start().strip_prefix(MARKER) else { continue };
         let rest = rest.trim_start();
         let mut push_bad = |msg: String| {
-            bad.push(Diagnostic {
-                file: file.to_string(),
-                line: t.line,
-                rule: RuleId::BadAnnotation,
-                message: msg,
-                allowed: None,
-            });
+            bad.push(Diagnostic::new(file, t.line, RuleId::BadAnnotation, msg));
         };
+        // `hermit-lint: hot-path` marks the next function for the
+        // `hot-alloc` rule; it is a marker, not an allow, and carries no
+        // reason. Recorded as a rule-less annotation the hot-alloc rule
+        // looks up by line.
+        if rest == "hot-path" {
+            anns.push(Annotation { line: t.line, rule: None, reason: HOT_PATH.to_string() });
+            continue;
+        }
         let Some(args) = rest.strip_prefix("allow(") else {
             push_bad("annotation must be `hermit-lint: allow(rule-id) reason`".to_string());
             continue;

@@ -23,15 +23,28 @@
 //! | `fsync-before-rename` | `crates/storage/src` | `rename` is preceded by an fsync in the same function |
 //! | `panic-free` | proto/server/client + `crates/txn` | no `unwrap`/`expect`/panicking macros/direct indexing |
 //! | `forbid-unsafe` | roster crate roots | `#![forbid(unsafe_code)]` stays in place |
+//! | `latch-order-ip` | `crates/core/src` | no call while holding a latch transitively reaches an acquisition at ≤ its rank ([`summary`]) |
+//! | `latch-hold-io-ip` | `crates/core/src` | no non-`io_safe` latch held across a transitively-fsyncing call ([`summary`]) |
+//! | `error-swallow` | core + storage + server | durability `Result`s are not discarded via `let _ =` / `.ok()` |
+//! | `hot-alloc` | `// hermit-lint: hot-path` functions | no per-call allocation constructors on the batch hot path |
+//!
+//! The `-ip` rules run on a same-crate call graph ([`callgraph`]) with
+//! per-function latch/IO summaries propagated to a fixpoint over Tarjan
+//! SCCs ([`summary`]); unresolvable calls (chained receivers, cross-crate,
+//! macros) are recorded rather than guessed, so the analysis misses
+//! conservatively instead of inventing edges. Interprocedural findings
+//! carry the offending call chain in [`diag::Diagnostic::chain`].
 //!
 //! Suppression is per-line and reasoned: `// hermit-lint: allow(rule-id)
 //! why this one is fine` on the finding line or the line above. A missing
 //! reason is itself a finding (`bad-annotation`) and cannot be allowed.
 
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
 pub mod scope;
+pub mod summary;
 
 use diag::{apply_annotations, collect_annotations, Diagnostic};
 use std::io;
@@ -128,7 +141,9 @@ pub fn analyze(ws: &Workspace) -> Vec<Diagnostic> {
         let in_latch = path.starts_with("crates/core/src/");
         let in_fault = path.starts_with("crates/storage/src/");
         let in_panic = PANIC_FILES.contains(&path.as_str()) || path.starts_with("crates/txn/src/");
-        if in_latch || in_fault || in_panic {
+        let in_swallow = in_latch || in_fault || path.starts_with("crates/server/src/");
+        let hot_lines = diag::hot_path_lines(&anns);
+        if in_latch || in_fault || in_panic || in_swallow || !hot_lines.is_empty() {
             let funcs = scope::functions(&tokens);
             let mut file_diags: Vec<Diagnostic> = Vec::new();
             for f in funcs.iter().filter(|f| !f.is_test) {
@@ -147,6 +162,12 @@ pub fn analyze(ws: &Workspace) -> Vec<Diagnostic> {
                 if in_panic {
                     rules::panic::check_function(path, &tokens, f, &mut file_diags);
                 }
+                if in_swallow {
+                    rules::swallow::check_function(path, &tokens, f, &mut file_diags);
+                }
+                // hot-alloc is marker-driven, so it runs wherever a
+                // `hermit-lint: hot-path` comment appears.
+                rules::hot_alloc::check_function(path, &tokens, f, &hot_lines, &mut file_diags);
             }
             apply_annotations(&mut file_diags, &anns);
             all.extend(file_diags);
@@ -154,6 +175,22 @@ pub fn analyze(ws: &Workspace) -> Vec<Diagnostic> {
         if !anns.is_empty() {
             annotations.push((path.clone(), anns));
         }
+    }
+
+    // Interprocedural pass: whole-workspace call graph, summaries to
+    // fixpoint, then the `-ip` latch rules. Runs before the final sort so
+    // its findings interleave per file/line with the per-file rules.
+    {
+        let graph = callgraph::build(&ws.files);
+        let summaries = summary::compute(&graph);
+        let mut ip: Vec<Diagnostic> = Vec::new();
+        summary::check(&graph, &summaries, &mut ip);
+        for (path, anns) in &annotations {
+            let mut in_file: Vec<&mut Diagnostic> =
+                ip.iter_mut().filter(|d| &d.file == path).collect();
+            apply_annotations_refs(&mut in_file, anns);
+        }
+        all.extend(ip);
     }
 
     // Global passes; their findings honor annotations in the anchor file.

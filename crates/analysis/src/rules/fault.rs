@@ -88,6 +88,7 @@ pub fn check_function(
                              after a crash",
                             func.name
                         ),
+                        chain: Vec::new(),
                         allowed: None,
                     });
                 }
@@ -112,6 +113,7 @@ pub fn check_function(
                     func.name,
                     tok(first).text
                 ),
+                chain: Vec::new(),
                 allowed: None,
             });
         }
@@ -136,6 +138,7 @@ pub fn check_global(sites: &[FaultSite], matrix_decl: (&str, u32), out: &mut Vec
                      call site so crash schedules are unambiguous",
                     s.name, first.file, first.line
                 ),
+                chain: Vec::new(),
                 allowed: None,
             });
         }
@@ -153,6 +156,7 @@ pub fn check_global(sites: &[FaultSite], matrix_decl: (&str, u32), out: &mut Vec
                      so the crash explorer covers it",
                     s.name
                 ),
+                chain: Vec::new(),
                 allowed: None,
             });
         }
@@ -167,6 +171,7 @@ pub fn check_global(sites: &[FaultSite], matrix_decl: (&str, u32), out: &mut Vec
                     "CRASH_MATRIX_SITES lists \"{m}\" but no fault_point(\"{m}\") exists in \
                      crates/storage; remove the stale entry or restore the site"
                 ),
+                chain: Vec::new(),
                 allowed: None,
             });
         }

@@ -30,8 +30,10 @@ use hermit_core::latches::{level_for_method, level_for_receiver, LatchLevel, LAT
 
 /// Calls that reach the device: fsync family plus the WAL append/log
 /// family. Holding a data latch across one of these stalls every reader
-/// behind storage latency.
-const IO_CALLS: &[&str] = &[
+/// behind storage latency. Shared with the interprocedural pass
+/// ([`crate::summary`]), which uses it to seed each function's local
+/// `does_io` fact.
+pub(crate) const IO_CALLS: &[&str] = &[
     "sync_all",
     "sync_data",
     "sync_dir",
@@ -46,32 +48,29 @@ const IO_CALLS: &[&str] = &[
 ];
 
 /// One recognized latch acquisition inside a function.
-struct Acquisition {
-    level: &'static LatchLevel,
+pub(crate) struct Acquisition {
+    pub(crate) level: &'static LatchLevel,
     /// Receiver or method name, for messages.
-    via: String,
+    pub(crate) via: String,
     /// Position (into the effective token vec) of the receiver/method.
-    pos: usize,
-    line: u32,
+    pub(crate) pos: usize,
+    pub(crate) line: u32,
     /// Exclusive end of the guard's tracked lifetime.
-    scope_end: usize,
+    pub(crate) scope_end: usize,
 }
 
-/// Render the declared order for diagnostics.
-fn order_string() -> String {
-    LATCH_HIERARCHY.iter().map(|l| l.name).collect::<Vec<_>>().join(" -> ")
-}
-
-/// Run both latch rules over one function of a `crates/core` file.
-pub fn check_function(file: &str, tokens: &[Token], func: &Func, out: &mut Vec<Diagnostic>) {
-    // Effective tokens: the function body minus nested fns and comments.
-    let eff: Vec<usize> = func
-        .body_indices()
+/// A function's effective token positions: body indices minus nested fns
+/// and comments. Every latch/IP scan operates on this view.
+pub(crate) fn effective_indices(tokens: &[Token], func: &Func) -> Vec<usize> {
+    func.body_indices()
         .filter(|&i| !matches!(tokens[i].kind, TokenKind::LineComment | TokenKind::BlockComment))
-        .collect();
-    let tok = |p: usize| -> &Token { &tokens[eff[p]] };
+        .collect()
+}
 
-    // --- Pass 1: find acquisitions. ---
+/// Scan one function's effective tokens for latch acquisitions, with the
+/// guard-lifetime heuristic documented in the module docs.
+pub(crate) fn find_acquisitions(tokens: &[Token], eff: &[usize]) -> Vec<Acquisition> {
+    let tok = |p: usize| -> &Token { &tokens[eff[p]] };
     let mut acqs: Vec<Acquisition> = Vec::new();
     let mut p = 0usize;
     while p + 3 < eff.len() {
@@ -108,10 +107,26 @@ pub fn check_function(file: &str, tokens: &[Token], func: &Func, out: &mut Vec<D
             }
         };
         let call_end = p + 3; // the `)`
-        let scope_end = guard_scope_end(&eff, tokens, p, call_end);
+        let scope_end = guard_scope_end(eff, tokens, p, call_end);
         acqs.push(Acquisition { level, via, pos: p + 1, line: m.line, scope_end });
         p = call_end + 1;
     }
+    acqs
+}
+
+/// Render the declared order for diagnostics.
+fn order_string() -> String {
+    LATCH_HIERARCHY.iter().map(|l| l.name).collect::<Vec<_>>().join(" -> ")
+}
+
+/// Run both latch rules over one function of a `crates/core` file.
+pub fn check_function(file: &str, tokens: &[Token], func: &Func, out: &mut Vec<Diagnostic>) {
+    // Effective tokens: the function body minus nested fns and comments.
+    let eff = effective_indices(tokens, func);
+    let tok = |p: usize| -> &Token { &tokens[eff[p]] };
+
+    // --- Pass 1: find acquisitions. ---
+    let acqs = find_acquisitions(tokens, &eff);
 
     // --- Pass 2: order violations. ---
     for (i, a) in acqs.iter().enumerate() {
@@ -133,6 +148,7 @@ pub fn check_function(file: &str, tokens: &[Token], func: &Func, out: &mut Vec<D
                         b.level.rank,
                         order_string()
                     ),
+                    chain: Vec::new(),
                     allowed: None,
                 });
             }
@@ -164,6 +180,7 @@ pub fn check_function(file: &str, tokens: &[Token], func: &Func, out: &mut Vec<D
                          the WAL guard may be held across durability I/O",
                         func.name, t.text, a.via, a.level.name
                     ),
+                    chain: Vec::new(),
                     allowed: None,
                 });
             }

@@ -37,6 +37,7 @@ pub fn check_function(file: &str, tokens: &[Token], func: &Func, out: &mut Vec<D
             line,
             rule: RuleId::PanicFree,
             message,
+            chain: Vec::new(),
             allowed: None,
         });
     };

@@ -42,6 +42,7 @@ pub fn check(files: &[(String, String)], out: &mut Vec<Diagnostic>) {
                 message: "crate root on the unsafe-free roster is missing from the workspace; \
                           update FORBID_ROSTER if the crate was intentionally removed"
                     .to_string(),
+                chain: Vec::new(),
                 allowed: None,
             });
             continue;
@@ -58,6 +59,7 @@ pub fn check(files: &[(String, String)], out: &mut Vec<Diagnostic>) {
                 message: "crate root must declare #![forbid(unsafe_code)]; the workspace is \
                           unsafe-free and the attribute keeps it that way"
                     .to_string(),
+                chain: Vec::new(),
                 allowed: None,
             });
         }

@@ -307,4 +307,52 @@ mod tests {
         assert_eq!(fs.len(), 1);
         assert_eq!(fs[0].name, "with_default");
     }
+
+    // Edge cases surfaced while building the call graph: signatures that
+    // put tokens between the `fn` keyword and the body `{` which a naive
+    // walker would mistake for the body itself.
+
+    #[test]
+    fn where_clause_does_not_truncate_the_signature() {
+        let toks =
+            lex("fn generic<K, V>(k: K, v: V) -> V\nwhere\n    K: Ord + Clone,\n    V: Default,\n\
+             {\n    inner(k);\n    v\n}\nfn after() { tail(); }");
+        let fs = functions(&toks);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert_eq!(fs[0].name, "generic");
+        let body: Vec<&str> = fs[0].body_indices().map(|i| toks[i].text.as_str()).collect();
+        assert!(body.contains(&"inner"), "body must start at the brace after `where`: {body:?}");
+        assert!(!body.contains(&"Default"), "where-clause bounds are not body tokens");
+        assert_eq!(fs[1].name, "after");
+    }
+
+    #[test]
+    fn impl_trait_return_is_part_of_the_signature() {
+        let toks =
+            lex("fn maker(n: usize) -> impl Iterator<Item = u32> + '_ {\n    (0..n).map(go)\n}\n\
+             fn plain() { leaf(); }");
+        let fs = functions(&toks);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert_eq!(fs[0].name, "maker");
+        let body: Vec<&str> = fs[0].body_indices().map(|i| toks[i].text.as_str()).collect();
+        assert!(body.contains(&"map"));
+        assert!(!body.contains(&"Iterator"), "return-position impl Trait is signature, not body");
+    }
+
+    #[test]
+    fn raw_strings_with_braces_do_not_break_brace_matching() {
+        // The `{` and `}` inside the raw string must not count as body
+        // delimiters — the lexer owns string contents, the walker only
+        // sees one Str token.
+        let toks =
+            lex("fn emits() {\n    let tpl = r#\"{ \"a\": { \"b\": } } }\"#;\n    used(tpl);\n}\n\
+             fn next_one() { follow(); }");
+        let fs = functions(&toks);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        let body: Vec<&str> = fs[0].body_indices().map(|i| toks[i].text.as_str()).collect();
+        assert!(body.contains(&"used"));
+        assert_eq!(fs[1].name, "next_one");
+        let next: Vec<&str> = fs[1].body_indices().map(|i| toks[i].text.as_str()).collect();
+        assert_eq!(next, vec!["follow", "(", ")", ";"]);
+    }
 }

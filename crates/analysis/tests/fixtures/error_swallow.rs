@@ -1,0 +1,38 @@
+// Golden fixture for `error-swallow`: durability Results discarded via
+// `let _ =` and `.ok()` fire; handled, propagated, non-durability, and
+// annotated discards stay silent.
+
+fn bad_let_discard(d: &File) {
+    let _ = d.sync_all();
+}
+
+fn bad_ok_discard(w: &mut Wal) {
+    w.flush().ok();
+}
+
+fn bad_nested_discard(d: &File, failing: bool) {
+    if failing {
+        let _ = d.commit();
+    }
+}
+
+fn good_propagated(d: &File) -> io::Result<()> {
+    d.sync_all()?;
+    Ok(())
+}
+
+fn good_handled(w: &mut Wal) {
+    if let Err(e) = w.flush() {
+        report(e);
+    }
+}
+
+fn good_non_durability(tx: &Sender<u32>) {
+    let _ = tx.send(1);
+    tx.notify().ok();
+}
+
+fn good_annotated(d: &File) {
+    // hermit-lint: allow(error-swallow) fixture: best-effort sync on an already-failing path
+    let _ = d.sync_all();
+}

@@ -1,0 +1,37 @@
+// Golden fixture for `hot-alloc`: allocation constructors inside
+// `hermit-lint: hot-path` functions fire; unmarked functions, the
+// scratch-reuse idiom, and annotated one-time allocations stay silent.
+
+// hermit-lint: hot-path
+fn bad_gather(rows: &Rows) {
+    let scratch = Vec::new();
+    let label = format!("{}", rows.id());
+    let copied: Vec<u64> = rows.iter().collect();
+    let owned = rows.first().to_vec();
+}
+
+// hermit-lint: hot-path
+#[inline]
+fn bad_past_attribute(n: usize) {
+    let buf = vec![0u8; n];
+}
+
+fn cold_setup() {
+    let v = Vec::new();
+    let s = make_name().to_string();
+}
+
+// hermit-lint: hot-path
+fn good_scratch_reuse(out: &mut Scratch, batch: &[u64]) {
+    out.clear();
+    out.candidates.reserve(batch.len());
+    for &t in batch {
+        out.candidates.push(t);
+    }
+}
+
+// hermit-lint: hot-path
+fn good_annotated(cache: &mut Option<Vec<u64>>) {
+    // hermit-lint: allow(hot-alloc) one-time lazy cache fill, not per-batch
+    cache.get_or_insert_with(|| Vec::with_capacity(64));
+}

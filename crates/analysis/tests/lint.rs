@@ -119,6 +119,72 @@ fn panic_free_ignores_test_code() {
     assert!(of_rule(&analyze(&ws), RuleId::PanicFree).is_empty());
 }
 
+// ------------------------------------------------- interprocedural latch
+
+#[test]
+fn latch_order_ip_fires_across_two_calls_with_chain() {
+    let ws =
+        synthetic(&[("crates/core/src/fixture.rs", include_str!("fixtures/latch_order_ip.rs"))]);
+    let got = of_rule(&analyze(&ws), RuleId::LatchOrderIp);
+    assert_eq!(got.len(), 2, "bad_top and bad_same_level: {got:?}");
+    assert!(mentions(&got, "Db::bad_top -> Db::middle -> Db::deep_acquire"));
+    assert!(mentions(&got, "Db::bad_same_level -> Db::middle -> Db::deep_acquire"));
+    assert!(!mentions(&got, "good_drops_first"));
+    assert!(!mentions(&got, "good_outer_held"));
+    // The chain is carried structurally for --format json.
+    let top = got.iter().find(|d| d.message.contains("bad_top")).unwrap();
+    assert_eq!(top.chain, vec!["Db::bad_top", "Db::middle", "Db::deep_acquire"]);
+}
+
+#[test]
+fn latch_hold_io_ip_fires_on_transitive_fsync_only() {
+    let ws =
+        synthetic(&[("crates/core/src/fixture.rs", include_str!("fixtures/latch_hold_io_ip.rs"))]);
+    let got = of_rule(&analyze(&ws), RuleId::LatchHoldIoIp);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(mentions(&got, "Db::bad_hold -> Db::apply_all -> Db::persist"));
+    assert!(!mentions(&got, "good_wal_bracket"));
+    assert!(!mentions(&got, "good_release_first"));
+}
+
+// -------------------------------------------------------- error-swallow
+
+#[test]
+fn error_swallow_fires_on_discards_and_honors_annotations() {
+    let ws =
+        synthetic(&[("crates/core/src/fixture.rs", include_str!("fixtures/error_swallow.rs"))]);
+    let diags = analyze(&ws);
+    let got = of_rule(&diags, RuleId::ErrorSwallow);
+    assert_eq!(got.len(), 3, "{got:?}");
+    assert!(mentions(&got, "bad_let_discard"));
+    assert!(mentions(&got, "bad_ok_discard"));
+    assert!(mentions(&got, "bad_nested_discard"));
+    assert!(!mentions(&got, "good_propagated"));
+    assert!(!mentions(&got, "good_handled"));
+    assert!(!mentions(&got, "good_non_durability"));
+    // The annotated discard surfaces as allowed, not open.
+    assert!(diags.iter().any(|d| d.rule == RuleId::ErrorSwallow
+        && d.allowed.as_deref() == Some("fixture: best-effort sync on an already-failing path")));
+}
+
+// ------------------------------------------------------------ hot-alloc
+
+#[test]
+fn hot_alloc_fires_only_inside_marked_functions() {
+    let ws = synthetic(&[("crates/core/src/fixture.rs", include_str!("fixtures/hot_alloc.rs"))]);
+    let diags = analyze(&ws);
+    let got = of_rule(&diags, RuleId::HotAlloc);
+    // bad_gather: Vec::new, format!, collect, to_vec; bad_past_attribute: vec!
+    assert_eq!(got.len(), 5, "{got:?}");
+    assert!(mentions(&got, "bad_gather"));
+    assert!(mentions(&got, "bad_past_attribute"));
+    assert!(!mentions(&got, "cold_setup"));
+    assert!(!mentions(&got, "good_scratch_reuse"));
+    // The annotated one-time allocation is allowed, not open.
+    assert!(diags.iter().any(|d| d.rule == RuleId::HotAlloc
+        && d.allowed.as_deref() == Some("one-time lazy cache fill, not per-batch")));
+}
+
 // -------------------------------------------------------------- unsafe
 
 #[test]
@@ -198,4 +264,161 @@ fn dropping_forbid_unsafe_fails_the_lint() {
     *root = root.replace("#![forbid(unsafe_code)]", "");
     let open: Vec<RuleId> = unannotated(&analyze(&ws)).iter().map(|d| d.rule).collect();
     assert!(open.contains(&RuleId::ForbidUnsafe), "got {open:?}");
+}
+
+/// The seed of a cross-function latch inversion: a three-hop chain in
+/// `database.rs` whose endpoints never meet in one function body. Shared
+/// by the mutation tests below; the runtime twin of this seed lives in
+/// `tests/latch_violation.rs` at the workspace root.
+const SEEDED_INVERSION: &str = "
+fn seeded_deep(db: &Database) { let g = db.composites.write(); g.len(); }
+fn seeded_mid(db: &Database) { seeded_deep(db); }
+fn seeded_top(db: &Database) {
+    let t = db.table.read();
+    seeded_mid(db);
+    t.len();
+}
+";
+
+/// Mutation: seeding a cross-function inversion into the real workspace
+/// must fail the lint with the full chain in the diagnostic — the static
+/// half of the acceptance criterion (the runtime witness catches the
+/// equivalent executed inversion in `latch_violation.rs`).
+#[test]
+fn seeding_a_cross_function_inversion_fails_the_lint() {
+    let mut ws = Workspace::load(&repo_root()).unwrap();
+    ws.file_mut("crates/core/src/database.rs").unwrap().push_str(SEEDED_INVERSION);
+    let diags = analyze(&ws);
+    let got = of_rule(&diags, RuleId::LatchOrderIp);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(mentions(&got, "seeded_top -> seeded_mid -> seeded_deep"), "{got:?}");
+    assert!(mentions(&got, "composite-registry"), "{got:?}");
+}
+
+/// Mutation: the same seed with the guard dropped before the call must
+/// stay clean — the finding above comes from held-guard tracking, not
+/// from the mere existence of the chain.
+#[test]
+fn seeded_chain_with_dropped_guard_stays_clean() {
+    let mut ws = Workspace::load(&repo_root()).unwrap();
+    ws.file_mut("crates/core/src/database.rs")
+        .unwrap()
+        .push_str(&SEEDED_INVERSION.replace("seeded_mid(db);", "drop(t);\n    seeded_mid(db);"));
+    let open: Vec<RuleId> = unannotated(&analyze(&ws)).iter().map(|d| d.rule).collect();
+    assert!(!open.contains(&RuleId::LatchOrderIp), "got {open:?}");
+}
+
+/// Mutation: breaking the summary fixpoint loses the finding. Renaming
+/// the middle hop's callee severs the `seeded_mid → seeded_deep` edge
+/// (the call becomes unresolved), so the acquisition no longer propagates
+/// to `seeded_top` — proving the diagnostic genuinely flows through the
+/// call-graph propagation rather than any textual coincidence.
+#[test]
+fn severing_a_summary_edge_loses_the_seeded_finding() {
+    let mut ws = Workspace::load(&repo_root()).unwrap();
+    ws.file_mut("crates/core/src/database.rs")
+        .unwrap()
+        .push_str(&SEEDED_INVERSION.replace("seeded_deep(db);", "seeded_deep_elsewhere(db);"));
+    let open: Vec<RuleId> = unannotated(&analyze(&ws)).iter().map(|d| d.rule).collect();
+    assert!(!open.contains(&RuleId::LatchOrderIp), "got {open:?}");
+}
+
+/// Mutation: a transitive-fsync chain under a data latch fails the lint.
+#[test]
+fn seeding_transitive_io_under_a_data_latch_fails_the_lint() {
+    let mut ws = Workspace::load(&repo_root()).unwrap();
+    ws.file_mut("crates/core/src/database.rs").unwrap().push_str(
+        "
+fn io_deep(f: &File) { f.sync_all(); }
+fn io_mid(f: &File) { io_deep(f); }
+fn io_top(db: &Database, f: &File) {
+    let t = db.table.write();
+    io_mid(f);
+    t.len();
+}
+",
+    );
+    let diags = analyze(&ws);
+    let got = of_rule(&diags, RuleId::LatchHoldIoIp);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(mentions(&got, "io_top -> io_mid -> io_deep"), "{got:?}");
+}
+
+/// Mutation: stripping a hot-path scratch-reuse idiom back to a fresh
+/// allocation fails the lint — the regression PR 2 bought the markers for.
+#[test]
+fn reintroducing_an_allocation_into_a_hot_path_fails_the_lint() {
+    let mut ws = Workspace::load(&repo_root()).unwrap();
+    let batch = ws.file_mut("crates/core/src/batch.rs").expect("batch.rs");
+    assert!(batch.contains("// hermit-lint: hot-path"), "markers should exist");
+    batch.push_str(
+        "\n// hermit-lint: hot-path\nfn seeded_hot(n: usize) { let v = Vec::with_capacity(n); }\n",
+    );
+    let open: Vec<RuleId> = unannotated(&analyze(&ws)).iter().map(|d| d.rule).collect();
+    assert!(open.contains(&RuleId::HotAlloc), "got {open:?}");
+}
+
+/// `--format json`: one object per line with the structured fields; the
+/// human format stays the default. Runs the real binary against the real
+/// workspace (clean, so `--verbose` is what produces output lines — the
+/// allowed findings).
+#[test]
+fn json_format_emits_one_object_per_line() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hermit-lint"))
+        .args(["--root", repo_root().to_str().unwrap(), "--format", "json", "--verbose"])
+        .output()
+        .expect("run hermit-lint");
+    assert!(out.status.success(), "lint must pass on the clean workspace");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(!lines.is_empty(), "verbose mode should emit the allowed findings");
+    for l in &lines {
+        assert!(l.starts_with("{\"file\":\"") && l.ends_with('}'), "not a JSON object line: {l}");
+        for key in ["\"line\":", "\"rule\":\"", "\"message\":\"", "\"chain\":["] {
+            assert!(l.contains(key), "missing {key} in {l}");
+        }
+        // Only suppressed findings exist on the clean tree.
+        assert!(l.contains("\"allowed\":\""), "expected allowed reason in {l}");
+    }
+}
+
+/// Regression for the cross-pass ordering satellite: diagnostics must come
+/// back sorted by line within each file even though rules run in separate
+/// passes (per-file families, then the interprocedural pass).
+#[test]
+fn diagnostics_are_sorted_by_line_across_rule_passes() {
+    // One file triggering an early IP finding and later intraprocedural
+    // ones; sortedness must hold over the merged output.
+    let src = "
+struct Db;
+impl Db {
+    fn deep(&self) { let g = self.composites.write(); g.len(); }
+    fn top(&self) {
+        let t = self.table.read();
+        self.deep_caller();
+        t.len();
+    }
+    fn deep_caller(&self) { self.deep(); }
+    fn late_intra(&self) {
+        let p = self.primary.read();
+        let c = self.composites.read();
+        p.len();
+        c.len();
+    }
+}
+";
+    let ws = synthetic(&[("crates/core/src/fixture.rs", src)]);
+    let diags = analyze(&ws);
+    assert!(diags.len() >= 2, "need at least two findings to order: {diags:?}");
+    for w in diags.windows(2) {
+        assert!(
+            (&w[0].file, w[0].line) <= (&w[1].file, w[1].line),
+            "out of order: {} then {}",
+            w[0],
+            w[1]
+        );
+    }
+    // Both families are present, so the ordering claim is cross-pass.
+    assert!(diags.iter().any(|d| d.rule == RuleId::LatchOrderIp));
+    assert!(diags.iter().any(|d| d.rule == RuleId::LatchOrder));
 }

@@ -478,6 +478,40 @@ fn json_variants(variants: &[Variant]) -> String {
     format!("{{{}, \"speedup_batched\": {:.2}}}", fields.join(", "), batched / scalar)
 }
 
+/// Time a full `hermit-lint` pass (load + every rule family including the
+/// interprocedural fixpoint) over the workspace sources, so the analyzer's
+/// wall-time is tracked per run next to the engine numbers — a static
+/// analysis that outgrows a CI-friendly budget is a regression too.
+fn analyzer_wall_time() -> String {
+    // CI runs from the workspace root; fall back to the path relative to
+    // this crate's manifest so local `cargo run -p hermit_bench` works
+    // from anywhere.
+    let root = ["."]
+        .iter()
+        .map(std::path::PathBuf::from)
+        .chain(std::iter::once(std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")));
+    let ws = root
+        .filter_map(|r| hermit_analysis::Workspace::load(&r).ok())
+        .find(|ws| !ws.files.is_empty());
+    let Some(ws) = ws else {
+        println!("analysis: workspace sources not found; skipping");
+        return "{\"files\": 0, \"wall_ms\": 0.0, \"findings\": 0, \"allowed\": 0}".to_string();
+    };
+    let start = Instant::now();
+    let diags = hermit_analysis::analyze(&ws);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let open = hermit_analysis::unannotated(&diags).len();
+    let allowed = diags.len() - open;
+    println!(
+        "analysis: {} file(s) in {wall_ms:.1} ms ({open} finding(s), {allowed} allowed)",
+        ws.files.len()
+    );
+    format!(
+        "{{\"files\": {}, \"wall_ms\": {wall_ms:.1}, \"findings\": {open}, \"allowed\": {allowed}}}",
+        ws.files.len()
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut rows = 100_000usize;
@@ -572,9 +606,10 @@ fn main() {
     let durability_json = durability_metrics(rows);
     let txn_json = txn_metrics(rows);
     let server_json = server_throughput(rows, 4, BUDGET);
+    let analysis_json = analyzer_wall_time();
 
     let json = format!(
-        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"durability\": {},\n  \"txn\": {},\n  \"server\": {},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
+        "{{\n  \"experiment\": \"lookup\",\n  \"rows\": {rows},\n  \"range_selectivity\": {RANGE_SELECTIVITY},\n  \"range_queries\": {RANGE_QUERIES},\n  \"point_queries\": {POINT_QUERIES},\n  \"units\": \"queries_per_sec\",\n  \"substrates\": {{\n{}\n  }},\n  \"concurrent\": {{{}, \"writer_ops_per_sec\": {:.1}, \"reorg\": {}}},\n  \"durability\": {},\n  \"txn\": {},\n  \"server\": {},\n  \"analysis\": {},\n  \"headline_speedup_paged_range\": {:.2}\n}}\n",
         sections.join(",\n"),
         reader_fields.join(", "),
         writer_field,
@@ -582,6 +617,7 @@ fn main() {
         durability_json,
         txn_json,
         server_json,
+        analysis_json,
         headline
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| {

@@ -235,6 +235,7 @@ impl Database {
 
     /// Phases 1–2 of the Hermit route into `scratch.candidates`. Returns
     /// `false` when the host index has dropped out from under the TRS-Tree.
+    // hermit-lint: hot-path
     fn gather_hermit(
         &self,
         trs: &hermit_trs::ConcurrentTrsTree,
@@ -280,6 +281,7 @@ impl Database {
 
     /// Phase 2 of the baseline path into `scratch.candidates`; point
     /// predicates take the allocation-free equality probe.
+    // hermit-lint: hot-path
     fn gather_baseline(
         &self,
         tree: &hermit_btree::BPlusTree<F64Key, Tid>,
@@ -304,6 +306,7 @@ impl Database {
     /// `scratch.recheck` conjunct. Rows invisible to the snapshot `view`
     /// are skipped silently — neither matches nor false positives — same
     /// as the scalar snapshot tail.
+    // hermit-lint: hot-path
     fn batched_resolve_validate(
         &self,
         scratch: &mut BatchScratch,

@@ -43,6 +43,7 @@ use crate::composite::{build_composite_tree, build_composite_trs, CompositeIndex
 use crate::correlation::{discover_correlations, DiscoveryConfig};
 use crate::error::CoreError;
 use crate::index::SecondaryIndex;
+use crate::latches::{self, LatchedRwLock, Witnessed};
 use hermit_btree::{BPlusTree, HashPrimaryIndex};
 use hermit_storage::paged::PagedTable;
 use hermit_storage::{
@@ -51,7 +52,7 @@ use hermit_storage::{
 };
 use hermit_trs::{ConcurrentTrsTree, PairSource, TrsParams, TrsTree};
 use hermit_txn::TxnManager;
-use parking_lot::{RwLock, RwLockReadGuard};
+use parking_lot::RwLockReadGuard;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -63,7 +64,7 @@ use std::time::Instant;
 /// are already internally synchronized, so it is shared as-is.
 pub enum Heap {
     /// In-memory columnar heap (DBMS-X substrate) behind a coarse latch.
-    Mem(RwLock<Table>),
+    Mem(LatchedRwLock<Table>),
     /// Slotted-page heap behind a buffer pool (PostgreSQL substrate).
     Paged(PagedTable),
 }
@@ -217,14 +218,14 @@ pub struct Database {
     pub(crate) heap: Heap,
     pub(crate) scheme: TidScheme,
     pub(crate) pk_col: ColumnId,
-    pub(crate) primary: RwLock<HashPrimaryIndex>,
+    pub(crate) primary: LatchedRwLock<HashPrimaryIndex>,
     /// Secondary indexes by indexed column. The map itself only changes
     /// under `&mut self` (DDL); each index is internally latched, so DML
     /// and queries share it latch-free.
     pub(crate) secondary: BTreeMap<ColumnId, SecondaryIndex>,
     /// Composite `(leading, value)` secondary indexes, maintained on insert
     /// and visible to the query planner.
-    pub(crate) composites: RwLock<CompositeIndexes>,
+    pub(crate) composites: LatchedRwLock<CompositeIndexes>,
     /// Columns whose indexes existed before the experiment began; their
     /// maintenance cost is charged to "existing indexes" in breakdowns.
     pub(crate) existing: Vec<ColumnId>,
@@ -244,12 +245,12 @@ impl Database {
     /// In-memory database.
     pub fn new(schema: Schema, pk_col: ColumnId, scheme: TidScheme) -> Self {
         Database {
-            heap: Heap::Mem(RwLock::new(Table::new(schema))),
+            heap: Heap::Mem(LatchedRwLock::new(latches::level(60), Table::new(schema))),
             scheme,
             pk_col,
-            primary: RwLock::new(HashPrimaryIndex::new()),
+            primary: LatchedRwLock::new(latches::level(50), HashPrimaryIndex::new()),
             secondary: BTreeMap::new(),
-            composites: RwLock::new(CompositeIndexes::new()),
+            composites: LatchedRwLock::new(latches::level(30), CompositeIndexes::new()),
             existing: Vec::new(),
             trs_params: TrsParams::default(),
             durability: None,
@@ -264,9 +265,9 @@ impl Database {
             heap: Heap::Paged(table),
             scheme: TidScheme::Physical,
             pk_col,
-            primary: RwLock::new(HashPrimaryIndex::new()),
+            primary: LatchedRwLock::new(latches::level(50), HashPrimaryIndex::new()),
             secondary: BTreeMap::new(),
-            composites: RwLock::new(CompositeIndexes::new()),
+            composites: LatchedRwLock::new(latches::level(30), CompositeIndexes::new()),
             existing: Vec::new(),
             trs_params: TrsParams::default(),
             durability: None,
@@ -291,13 +292,15 @@ impl Database {
     }
 
     /// The composite-index registry the planner consults (read latch).
-    pub fn composites(&self) -> RwLockReadGuard<'_, CompositeIndexes> {
+    pub fn composites(&self) -> Witnessed<RwLockReadGuard<'_, CompositeIndexes>> {
         self.composites.read()
     }
 
     /// Write latch over the composite registry (maintenance: composite
     /// Hermit reorganization runs under it).
-    pub(crate) fn composites_mut(&self) -> parking_lot::RwLockWriteGuard<'_, CompositeIndexes> {
+    pub(crate) fn composites_mut(
+        &self,
+    ) -> Witnessed<parking_lot::RwLockWriteGuard<'_, CompositeIndexes>> {
         self.composites.write()
     }
 
@@ -332,7 +335,7 @@ impl Database {
     }
 
     /// The primary index (read latch).
-    pub fn primary(&self) -> RwLockReadGuard<'_, HashPrimaryIndex> {
+    pub fn primary(&self) -> Witnessed<RwLockReadGuard<'_, HashPrimaryIndex>> {
         self.primary.read()
     }
 

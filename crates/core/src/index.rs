@@ -7,17 +7,17 @@
 //! [`ConcurrentTrsTree`], the Appendix-B wrapper whose writers divert to a
 //! side buffer during background reorganization.
 
+use crate::latches::{self, LatchedRwLock};
 use hermit_btree::BPlusTree;
 use hermit_storage::{ColumnId, F64Key, Tid};
 use hermit_trs::ConcurrentTrsTree;
-use parking_lot::RwLock;
 
 /// A secondary index on one column: either a complete baseline B+-tree or a
 /// succinct Hermit TRS-Tree routed through a host column.
 pub enum SecondaryIndex {
     /// Conventional complete index: target value → tid, behind a coarse
     /// reader-writer latch.
-    Baseline(RwLock<BPlusTree<F64Key, Tid>>),
+    Baseline(LatchedRwLock<BPlusTree<F64Key, Tid>>),
     /// Hermit index: a TRS-Tree modeling the target→host correlation, plus
     /// the host column whose baseline index serves the second hop. The tree
     /// carries its own Appendix-B latch + side buffer.
@@ -32,7 +32,7 @@ pub enum SecondaryIndex {
 impl SecondaryIndex {
     /// Wrap a built baseline tree.
     pub fn baseline(tree: BPlusTree<F64Key, Tid>) -> Self {
-        SecondaryIndex::Baseline(RwLock::new(tree))
+        SecondaryIndex::Baseline(LatchedRwLock::new(latches::level(40), tree))
     }
 
     /// True for the Hermit variant.

@@ -37,13 +37,32 @@
 //! * **Composite reorganization** (`SharedDatabase::maintenance_pass`):
 //!   registry (write) → heap (read) — the rebuild scans the base table
 //!   under the registry latch so a racing insert cannot be erased.
-//! * **Query execution** (`Executor`): per-index (read) → primary (read)
-//!   → heap (read) while resolving and validating candidates.
+//! * **Query execution** (`Executor`): per-index (read) → heap (read)
+//!   while validating candidates; primary and heap fetches otherwise
+//!   happen after the index guard is released (candidate locs are copied
+//!   out), which is why `(40, 50)` and `(50, 60)` are *not* declared in
+//!   [`LATCH_NESTING_EDGES`].
 //!
 //! Latches *internal* to one component (buffer-pool shards, the
 //! `ConcurrentTrsTree` node latches, the transaction-table mutex, the page
 //! store's file lock) are leaves: they are acquired last, never nest with
 //! each other across components, and are not part of this declaration.
+//!
+//! # Runtime witness and the observed-edge export
+//!
+//! The declaration is enforced twice. Statically, `hermit-lint` re-derives
+//! nestings from source (including across calls — the `latch-order-ip`
+//! rule). Dynamically, every engine latch is a [`LatchedRwLock`] /
+//! [`LatchedMutex`] wrapper whose guards carry a [`HeldLatch`] token: in
+//! debug builds each acquisition pushes its rank onto a thread-local
+//! stack, records every `(held, acquired)` pair into a process-global set,
+//! and panics (or counts, see [`set_witness_panic`]) when the new rank is
+//! lower than one already held. [`observed_nesting_edges`] exports the
+//! recorded set; the `latch_witness` integration test drives the DML /
+//! query / checkpoint / reorganization workloads and asserts it equals
+//! [`LATCH_NESTING_EDGES`] exactly — so the static model, the runtime
+//! behavior, and this file cannot drift apart independently. Release
+//! builds compile the bookkeeping out.
 //!
 //! # Changing the hierarchy
 //!
@@ -51,7 +70,9 @@
 //! resolves acquisitions lexically (receiver name / guard-returning method
 //! name, per the `receivers`/`methods` fields), so a new latch must carry
 //! a recognizable field or method name and be declared below, or the
-//! analyzer will not see it.
+//! analyzer will not see it. New load-bearing nestings must also be added
+//! to [`LATCH_NESTING_EDGES`] and exercised by the `latch_witness` test's
+//! workload, or CI fails the reconciliation.
 
 /// One level of the engine-wide latch hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +147,270 @@ pub fn level_for_method(method: &str) -> Option<&'static LatchLevel> {
     LATCH_HIERARCHY.iter().find(|l| l.methods.contains(&method))
 }
 
+/// Look up a hierarchy level by rank. Panics on an undeclared rank — the
+/// ranks are compile-time constants at every call site, so a miss is a
+/// programming error, not a runtime condition.
+pub fn level(rank: u32) -> &'static LatchLevel {
+    LATCH_HIERARCHY
+        .iter()
+        .find(|l| l.rank == rank)
+        .unwrap_or_else(|| panic!("rank {rank} is not declared in LATCH_HIERARCHY"))
+}
+
+/// The nesting edges `(outer rank, inner rank)` the engine actually
+/// exercises: acquiring the inner latch while the outer one is held.
+///
+/// This is deliberately **not** the full upper-triangle of
+/// [`LATCH_HIERARCHY`] — some legal-by-rank nestings are unreachable by
+/// construction (composite indexes live only on the in-memory substrate,
+/// the per-index tree latch is never taken under the registry write latch,
+/// …). The runtime witness records every nesting it observes, and the
+/// `latch_witness` integration test asserts set equality both ways: an
+/// edge observed at runtime but missing here fails (undeclared nesting),
+/// and an edge declared here but never observed fails (the stress
+/// workloads stopped exercising a load-bearing path, or the edge is
+/// fiction). Keep this list sorted.
+pub const LATCH_NESTING_EDGES: &[(u32, u32)] = &[
+    (10, 20), // DML + checkpoint: quiesce, then the WAL guard
+    (10, 30), // durable DML: registry probe under quiesce + WAL guard
+    (10, 40), // durable DML: per-index maintenance under quiesce + WAL guard
+    (10, 50), // durable DML: primary-index maintenance under the brackets
+    (20, 30), // same apply steps, seen from under the WAL guard
+    (20, 40),
+    (20, 50),
+    (30, 60), // composite reorganization: heap scan under the registry latch
+    (40, 60), // query validation: heap re-check under the tree latch
+              // Absent on purpose, per the reconciliation test:
+              // * (10, 60) / (20, 60) — the durable substrate is paged, and the
+              //   paged heap has no rank-60 latch (the buffer pool's shard locks
+              //   are leaves); the in-memory heap latch never sits under the
+              //   durability brackets because the mem substrate cannot checkpoint.
+              // * (40, 50) / (50, 60) — the executor copies candidate locs out of
+              //   each index guard before taking the next latch, so primary and
+              //   heap acquisitions never nest under another data latch.
+];
+
+// ---------------------------------------------------------------------
+// Runtime lock-order witness
+// ---------------------------------------------------------------------
+//
+// The static analyzer (`hermit-lint`) re-derives nestings lexically; the
+// witness below records what *actually executes*. Debug builds keep a
+// thread-local stack of held ranks: every [`LatchedRwLock`] /
+// [`LatchedMutex`] acquisition pushes its level, records a nesting edge
+// per held rank, and — on a hierarchy violation (acquiring a rank lower
+// than one already held) — panics (the default, used by tests) or bumps a
+// process-wide counter (`set_witness_panic(false)`). Release builds
+// compile the bookkeeping out; the wrappers degrade to the plain locks.
+//
+// `observed_nesting_edges()` exports the recorded edges so the
+// `latch_witness` test can reconcile them against
+// [`LATCH_NESTING_EDGES`]; the set is process-global, which is why that
+// test lives in its own integration-test binary.
+
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+
+#[cfg(debug_assertions)]
+mod witness {
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::Mutex;
+
+    thread_local! {
+        /// Ranks of latches this thread currently holds, in acquisition
+        /// order. Duplicates are legal (two heap tables, re-entrant
+        /// same-rank reads); release removes the most recent occurrence.
+        pub static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Every `(outer, inner)` nesting observed process-wide.
+    pub static OBSERVED: Mutex<BTreeSet<(u32, u32)>> = Mutex::new(BTreeSet::new());
+    /// Hierarchy violations seen while panicking was disabled.
+    pub static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+    /// Whether a violation panics (tests) or only counts.
+    pub static PANIC_ON_VIOLATION: AtomicBool = AtomicBool::new(true);
+}
+
+/// Pop-on-drop token recording one held latch level.
+///
+/// Field order in [`Witnessed`] puts the lock guard first, so the guard is
+/// released before the token pops — the stack never claims a latch that a
+/// waiter could already have been granted.
+#[derive(Debug)]
+pub struct HeldLatch {
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    rank: u32,
+}
+
+impl Drop for HeldLatch {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        witness::HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(i) = held.iter().rposition(|&r| r == self.rank) {
+                held.remove(i);
+            }
+        });
+    }
+}
+
+/// Record an acquisition on the witness stack; returns the pop token.
+fn note_acquire(level: &'static LatchLevel) -> HeldLatch {
+    #[cfg(debug_assertions)]
+    witness::HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if !held.is_empty() {
+            {
+                let mut obs = witness::OBSERVED.lock().unwrap_or_else(|e| e.into_inner());
+                for &r in held.iter() {
+                    if r != level.rank {
+                        obs.insert((r, level.rank));
+                    }
+                }
+            }
+            if held.iter().any(|&r| level.rank < r) {
+                use std::sync::atomic::Ordering;
+                witness::VIOLATIONS.fetch_add(1, Ordering::Relaxed);
+                if witness::PANIC_ON_VIOLATION.load(Ordering::Relaxed) {
+                    let stack: Vec<u32> = held.clone();
+                    drop(held);
+                    panic!(
+                        "latch witness: acquiring `{}` (rank {}) while holding ranks {stack:?} \
+                         — contradicts LATCH_HIERARCHY",
+                        level.name, level.rank
+                    );
+                }
+            }
+        }
+        held.push(level.rank);
+    });
+    HeldLatch { rank: level.rank }
+}
+
+/// The nesting edges `(outer, inner)` observed so far in this process,
+/// sorted. Always empty in release builds (the witness is compiled out).
+pub fn observed_nesting_edges() -> Vec<(u32, u32)> {
+    #[cfg(debug_assertions)]
+    {
+        witness::OBSERVED.lock().unwrap_or_else(|e| e.into_inner()).iter().copied().collect()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Hierarchy violations recorded while panicking was disabled. Always 0 in
+/// release builds.
+pub fn witness_violations() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        use std::sync::atomic::Ordering;
+        witness::VIOLATIONS.load(Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+/// Choose whether a violation panics (default, what the test suites want)
+/// or only increments [`witness_violations`]. No-op in release builds.
+pub fn set_witness_panic(panic_on_violation: bool) {
+    #[cfg(debug_assertions)]
+    {
+        use std::sync::atomic::Ordering;
+        witness::PANIC_ON_VIOLATION.store(panic_on_violation, Ordering::Relaxed);
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = panic_on_violation;
+    }
+}
+
+/// A lock guard plus its witness token. Derefs straight through to the
+/// guarded value, so `db.primary().get(pk)` and `&tree.read()` keep
+/// working unchanged at every call site.
+#[derive(Debug)]
+pub struct Witnessed<G> {
+    // Declaration order is load-bearing: the guard drops (releasing the
+    // lock) before the token pops the witness stack.
+    guard: G,
+    _held: HeldLatch,
+}
+
+impl<G: Deref> Deref for Witnessed<G> {
+    type Target = G::Target;
+    fn deref(&self) -> &G::Target {
+        &self.guard
+    }
+}
+
+impl<G: DerefMut> DerefMut for Witnessed<G> {
+    fn deref_mut(&mut self) -> &mut G::Target {
+        &mut self.guard
+    }
+}
+
+/// An `RwLock` pinned to one [`LatchLevel`]; acquisitions go through the
+/// runtime witness.
+#[derive(Debug)]
+pub struct LatchedRwLock<T> {
+    level: &'static LatchLevel,
+    inner: RwLock<T>,
+}
+
+impl<T> LatchedRwLock<T> {
+    pub fn new(level: &'static LatchLevel, value: T) -> Self {
+        LatchedRwLock { level, inner: RwLock::new(value) }
+    }
+
+    pub fn read(&self) -> Witnessed<RwLockReadGuard<'_, T>> {
+        let guard = self.inner.read();
+        Witnessed { guard, _held: note_acquire(self.level) }
+    }
+
+    pub fn write(&self) -> Witnessed<RwLockWriteGuard<'_, T>> {
+        let guard = self.inner.write();
+        Witnessed { guard, _held: note_acquire(self.level) }
+    }
+
+    /// Exclusive access without locking — no latch is acquired, so the
+    /// witness stays out of it.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+/// A `Mutex` pinned to one [`LatchLevel`]; acquisitions go through the
+/// runtime witness.
+#[derive(Debug)]
+pub struct LatchedMutex<T> {
+    level: &'static LatchLevel,
+    inner: Mutex<T>,
+}
+
+impl<T> LatchedMutex<T> {
+    pub fn new(level: &'static LatchLevel, value: T) -> Self {
+        LatchedMutex { level, inner: Mutex::new(value) }
+    }
+
+    pub fn lock(&self) -> Witnessed<MutexGuard<'_, T>> {
+        let guard = self.inner.lock();
+        Witnessed { guard, _held: note_acquire(self.level) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +444,44 @@ mod tests {
         for l in LATCH_HIERARCHY {
             assert_eq!(l.io_safe, l.rank <= 20, "{} io_safe flag out of policy", l.name);
         }
+    }
+
+    #[test]
+    fn nesting_edges_are_sorted_declared_and_downward() {
+        assert!(LATCH_NESTING_EDGES.windows(2).all(|w| w[0] < w[1]), "edges must be sorted");
+        for &(outer, inner) in LATCH_NESTING_EDGES {
+            assert!(outer < inner, "edge ({outer}, {inner}) contradicts the hierarchy");
+            level(outer);
+            level(inner);
+        }
+    }
+
+    #[test]
+    fn witness_records_edges_and_counts_violations() {
+        // Debug-only semantics; in release the witness is compiled out.
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let quiesce = LatchedRwLock::new(level(10), ());
+        let heap = LatchedRwLock::new(level(60), 0u32);
+        let wal = LatchedMutex::new(level(20), ());
+        {
+            let _q = quiesce.read();
+            let _w = wal.lock();
+            let _h = heap.write();
+        }
+        let edges = observed_nesting_edges();
+        assert!(edges.contains(&(10, 20)) && edges.contains(&(10, 60)));
+        assert!(edges.contains(&(20, 60)));
+
+        // Inversion with panicking disabled: counted, not fatal.
+        set_witness_panic(false);
+        let before = witness_violations();
+        {
+            let _h = heap.read();
+            let _q = quiesce.read(); // rank 10 under rank 60: violation
+        }
+        assert_eq!(witness_violations(), before + 1);
+        set_witness_panic(true);
     }
 }

@@ -78,13 +78,14 @@
 use crate::database::{Database, Heap};
 use crate::error::CoreError;
 use crate::index::SecondaryIndex;
+use crate::latches::{self, LatchedMutex, LatchedRwLock, Witnessed};
 use hermit_btree::{BPlusTree, HashPrimaryIndex};
 use hermit_storage::paged::{BufferPool, FilePageStore, PageStore, PagedTable};
 use hermit_storage::recovery::{write_file_atomic, BaselineDef, Catalog, HermitDef, PageEntry};
 use hermit_storage::wal::{read_wal, WalRecord, WalWriter};
 use hermit_storage::{ColumnId, F64Key, RowLoc, Schema, StorageError, Tid, TidScheme, Value};
 use hermit_trs::{ConcurrentTrsTree, TrsParams, TrsTree};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::RwLockReadGuard;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -130,8 +131,8 @@ pub(crate) struct Durability {
     /// WAL append; `checkpoint` holds the write side across flush →
     /// snapshots → catalog → WAL reset, so the cut it takes is
     /// statement-atomic.
-    quiesce: RwLock<()>,
-    wal: Mutex<WalWriter>,
+    quiesce: LatchedRwLock<()>,
+    wal: LatchedMutex<WalWriter>,
     /// Epoch of the current catalog/WAL pairing.
     epoch: AtomicU64,
     sync_every: usize,
@@ -149,7 +150,7 @@ fn wal_err(e: hermit_storage::RecoveryError) -> StorageError {
 }
 
 impl Durability {
-    pub(crate) fn quiesce_read(&self) -> RwLockReadGuard<'_, ()> {
+    pub(crate) fn quiesce_read(&self) -> Witnessed<RwLockReadGuard<'_, ()>> {
         self.quiesce.read()
     }
 
@@ -173,7 +174,7 @@ impl Durability {
     /// the other, and replay would reconstruct a state contradicting
     /// acknowledged statements. Durable DML is therefore serialized per
     /// database — the honest cost of a single serial redo log.
-    pub(crate) fn wal_guard(&self) -> parking_lot::MutexGuard<'_, WalWriter> {
+    pub(crate) fn wal_guard(&self) -> Witnessed<parking_lot::MutexGuard<'_, WalWriter>> {
         self.wal.lock()
     }
 
@@ -311,8 +312,8 @@ impl Database {
         let mut db = Database::new_paged(table, pk_col);
         db.durability = Some(Durability {
             dir: dir.to_path_buf(),
-            quiesce: RwLock::new(()),
-            wal: Mutex::new(WalWriter::create(&dir.join(WAL_FILE), 0)?),
+            quiesce: LatchedRwLock::new(latches::level(10), ()),
+            wal: LatchedMutex::new(latches::level(20), WalWriter::create(&dir.join(WAL_FILE), 0)?),
             epoch: AtomicU64::new(0),
             sync_every: config.wal_sync_every.max(1),
             wal_poisoned: AtomicBool::new(false),
@@ -698,8 +699,8 @@ impl Database {
 
         db.durability = Some(Durability {
             dir: dir.to_path_buf(),
-            quiesce: RwLock::new(()),
-            wal: Mutex::new(writer),
+            quiesce: LatchedRwLock::new(latches::level(10), ()),
+            wal: LatchedMutex::new(latches::level(20), writer),
             epoch: AtomicU64::new(catalog.wal_epoch),
             sync_every: config.wal_sync_every.max(1),
             wal_poisoned: AtomicBool::new(false),
@@ -775,7 +776,7 @@ impl Database {
                 table.delete(loc)?;
             }
         }
-        self.primary = RwLock::new(primary);
+        self.primary = LatchedRwLock::new(latches::level(50), primary);
         for (slot, def) in catalog.baselines.iter().enumerate() {
             let mut e = std::mem::take(&mut entries[slot]);
             e.sort_by_key(|entry| entry.0);

@@ -193,6 +193,7 @@ fn run_txn_script(client: &mut HermitClient) {
             Ok(l) => l,
             Err(e) => {
                 eprintln!("hermit-cli: stdin: {e}");
+                // hermit-lint: allow(error-swallow) the script already failed and we are exiting nonzero; the server also rolls back on disconnect
                 let _ = client.rollback();
                 std::process::exit(1);
             }
@@ -238,6 +239,7 @@ fn run_txn_script(client: &mut HermitClient) {
         if let Err(e) = outcome {
             eprintln!("hermit-cli: {e}");
             if !closed {
+                // hermit-lint: allow(error-swallow) best-effort cleanup on the error exit; the server rolls back open transactions on disconnect anyway
                 let _ = client.rollback();
             }
             std::process::exit(1);
@@ -246,6 +248,7 @@ fn run_txn_script(client: &mut HermitClient) {
     if !closed {
         if let Err(e) = client.commit() {
             eprintln!("hermit-cli: commit failed: {e}");
+            // hermit-lint: allow(error-swallow) commit already failed and its error is what we report; the rollback is best-effort cleanup
             let _ = client.rollback();
             std::process::exit(1);
         }
@@ -261,6 +264,7 @@ fn script_usage(client: &mut HermitClient, line: &str) -> ! {
         "hermit-cli: bad txn statement: `{line}` (expected insert/delete/query/point/\
          commit/rollback)"
     );
+    // hermit-lint: allow(error-swallow) usage error: exiting 2 regardless; the server rolls back open transactions on disconnect
     let _ = client.rollback();
     std::process::exit(2);
 }

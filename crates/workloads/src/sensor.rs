@@ -159,6 +159,7 @@ mod tests {
         let (lo, hi) = table.stats(cfg.sensor_col(5)).unwrap().range().unwrap();
         let width = hi - lo;
         let (qlo, qhi) = (lo + 0.4 * width, lo + 0.45 * width);
+        drop(table); // release the heap latch before the query takes index latches
         let r = db.lookup_range(RangePredicate::range(cfg.sensor_col(5), qlo, qhi), None);
         // Exactness vs a scan.
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };

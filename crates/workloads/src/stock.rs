@@ -204,6 +204,7 @@ mod tests {
         let stats = table.stats(cfg.high_col(0)).unwrap().clone();
         let (lo, hi) = stats.range().unwrap();
         let mid = (lo + hi) / 2.0;
+        drop(table); // release the heap latch before the query takes index latches
         let r = db.lookup_range(RangePredicate::range(cfg.high_col(0), mid * 0.9, mid * 1.1), None);
         // Exactness check against a scan.
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
@@ -223,6 +224,7 @@ mod tests {
         let hermit_core::Heap::Mem(table) = db.heap() else { unreachable!() };
         let table = table.read();
         let (lo, hi) = table.stats(cfg.high_col(1)).unwrap().range().unwrap();
+        drop(table); // release the heap latch before the query takes index latches
         let r = db.lookup_range(
             RangePredicate::range(cfg.high_col(1), lo, hi),
             Some(RangePredicate::range(0, 100.0, 199.0)),
